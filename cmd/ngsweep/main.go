@@ -1,0 +1,90 @@
+// Command ngsweep reproduces the paper's §3 experiment: the optimal
+// group size n_g of the modified tree algorithm. For each n_g it runs
+// the full traversal over a snapshot (counting real interactions and
+// list lengths), models the host time on the calibrated DS10 model and
+// the GRAPE time on the g5 timing model, and prints the time balance.
+// The paper: "For the present configuration, the optimal n_g is around
+// 2000."
+//
+//	ngsweep -in snapshot.g5
+//	ngsweep -grid 32 -evolved=false          # fresh ICs, unclustered
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	grape5 "repro"
+	"repro/internal/g5"
+	"repro/internal/nbody"
+	"repro/internal/perf"
+	"repro/internal/snapio"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ngsweep: ")
+	var (
+		in      = flag.String("in", "", "snapshot file to sweep over (overrides -grid)")
+		grid    = flag.Int("grid", 32, "IC grid when no snapshot given (power of two)")
+		lattice = flag.Int("lattice", 0, "particle lattice (0 = grid); 160 with -grid 128 gives the paper's N")
+		seed    = flag.Uint64("seed", 1, "IC seed")
+		theta   = flag.Float64("theta", 0.75, "opening parameter")
+		list    = flag.String("ncrit", "125,250,500,1000,2000,4000,8000,16000",
+			"comma-separated n_g values")
+	)
+	flag.Parse()
+
+	var sys *nbody.System
+	switch {
+	case *in != "":
+		_, s, err := snapio.ReadFile(*in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sys = s
+	default:
+		cs, err := grape5.NewCosmoSphere(grape5.CosmoSphereParams{GridN: *grid, LatticeN: *lattice, Seed: *seed}, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sys = cs.Sys
+	}
+
+	var ncrits []int
+	for _, f := range strings.Split(*list, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || v < 1 {
+			log.Fatalf("bad ncrit value %q", f)
+		}
+		ncrits = append(ncrits, v)
+	}
+
+	host := perf.DS10()
+	fmt.Printf("n_g sweep: N=%d theta=%.2f host=%s\n", sys.N(), *theta, host.Name)
+	fmt.Printf("%8s %8s %12s %10s %9s %9s %9s %9s\n",
+		"n_g", "groups", "interactions", "avg list", "T_host", "T_pipe", "T_bus", "T_total")
+
+	points, err := perf.NgSweep(sys, *theta, ncrits, host, g5.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	best := perf.Optimum(points)
+	for _, p := range points {
+		mark := " "
+		if best != nil && p.Ncrit == best.Ncrit {
+			mark = "*"
+		}
+		fmt.Printf("%8d %8d %12.4g %10.0f %8.3fs %8.3fs %8.3fs %8.3fs %s\n",
+			p.Ncrit, p.Groups, float64(p.Interactions), p.AvgList,
+			p.Report.HostSeconds, p.Report.PipeSeconds, p.Report.BusSeconds,
+			p.Report.TotalSeconds(), mark)
+	}
+	if best != nil {
+		fmt.Printf("\noptimal n_g = %d (paper §3: \"around 2000\" for the DS10 + GRAPE-5 ratio)\n",
+			best.Ncrit)
+	}
+}

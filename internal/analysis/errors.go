@@ -1,0 +1,138 @@
+// Package analysis provides the diagnostics used by the experiments:
+// force-error statistics (the paper's §2 accuracy discussion), energy
+// accounting, density profiles, a two-point correlation estimator, and
+// the projection renderer that regenerates Figure 4.
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/nbody"
+	"repro/internal/vec"
+)
+
+// ErrorStats summarise the relative deviation of a force set from a
+// reference.
+type ErrorStats struct {
+	// RMS is sqrt(mean of squared relative errors).
+	RMS float64
+	// Mean is the mean relative error.
+	Mean float64
+	// Max is the worst relative error.
+	Max float64
+	// Median is the 50th percentile.
+	Median float64
+	// P99 is the 99th percentile.
+	P99 float64
+	// N is the number of particles compared.
+	N int
+}
+
+// CompareForces computes relative force-error statistics between two
+// systems containing the same particles (matched by ID; the treecode
+// reorders particles, the direct reference does not).
+func CompareForces(got, ref *nbody.System) (ErrorStats, error) {
+	if got.N() != ref.N() {
+		return ErrorStats{}, fmt.Errorf("analysis: particle count mismatch %d vs %d", got.N(), ref.N())
+	}
+	refByID := make(map[int64]vec.V3, ref.N())
+	for i := range ref.Pos {
+		refByID[ref.ID[i]] = ref.Acc[i]
+	}
+	errs := make([]float64, 0, got.N())
+	for i := range got.Pos {
+		want, ok := refByID[got.ID[i]]
+		if !ok {
+			return ErrorStats{}, fmt.Errorf("analysis: particle ID %d missing from reference", got.ID[i])
+		}
+		norm := want.Norm()
+		if norm == 0 {
+			continue
+		}
+		errs = append(errs, got.Acc[i].Sub(want).Norm()/norm)
+	}
+	return SummarizeErrors(errs), nil
+}
+
+// SummarizeErrors reduces a sample of relative errors to statistics.
+func SummarizeErrors(errs []float64) ErrorStats {
+	if len(errs) == 0 {
+		return ErrorStats{}
+	}
+	s := ErrorStats{N: len(errs)}
+	var sum, sum2 float64
+	for _, e := range errs {
+		sum += e
+		sum2 += e * e
+		if e > s.Max {
+			s.Max = e
+		}
+	}
+	s.Mean = sum / float64(len(errs))
+	s.RMS = math.Sqrt(sum2 / float64(len(errs)))
+	sorted := append([]float64(nil), errs...)
+	sort.Float64s(sorted)
+	s.Median = quantile(sorted, 0.5)
+	s.P99 = quantile(sorted, 0.99)
+	return s
+}
+
+// quantile returns the q-th quantile of sorted data with linear
+// interpolation.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	if lo >= len(sorted)-1 {
+		return sorted[len(sorted)-1]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// String formats the stats for reports.
+func (s ErrorStats) String() string {
+	return fmt.Sprintf("rms=%.4g mean=%.4g median=%.4g p99=%.4g max=%.4g (n=%d)",
+		s.RMS, s.Mean, s.Median, s.P99, s.Max, s.N)
+}
+
+// EnergyReport is the total energy bookkeeping of a snapshot.
+type EnergyReport struct {
+	Kinetic, Potential float64
+}
+
+// Total returns K + U.
+func (e EnergyReport) Total() float64 { return e.Kinetic + e.Potential }
+
+// VirialRatio returns -2K/U (1 in virial equilibrium).
+func (e EnergyReport) VirialRatio() float64 {
+	if e.Potential == 0 {
+		return 0
+	}
+	return -2 * e.Kinetic / e.Potential
+}
+
+// Energy measures the system's energy by exact direct summation (O(N²):
+// use on analysis snapshots, not in integration loops).
+func Energy(s *nbody.System, g, eps float64) EnergyReport {
+	return EnergyReport{
+		Kinetic:   s.KineticEnergy(),
+		Potential: nbody.PotentialEnergy(s, g, eps),
+	}
+}
+
+// EnergyFromPotentials measures energy using engine-filled potentials
+// (cheap; valid right after a force evaluation that fills Pot).
+func EnergyFromPotentials(s *nbody.System) EnergyReport {
+	return EnergyReport{
+		Kinetic:   s.KineticEnergy(),
+		Potential: nbody.PotentialEnergyFromPot(s),
+	}
+}

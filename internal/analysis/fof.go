@@ -1,0 +1,211 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/nbody"
+	"repro/internal/vec"
+)
+
+// Halo is a friends-of-friends group.
+type Halo struct {
+	// N is the member count.
+	N int
+	// Mass is the total member mass.
+	Mass float64
+	// Center is the centre of mass.
+	Center vec.V3
+	// VMean is the mass-weighted mean velocity.
+	VMean vec.V3
+	// R90 is the radius about Center containing 90% of the members.
+	R90 float64
+}
+
+// FOFOptions configure the halo finder.
+type FOFOptions struct {
+	// LinkLength is the absolute linking length. If zero it is derived
+	// from LinkParam and the mean interparticle spacing.
+	LinkLength float64
+	// LinkParam is the dimensionless linking parameter b (default 0.2,
+	// the standard cosmological choice); the linking length is
+	// b · (V/N)^{1/3} with V the bounding-box volume.
+	LinkParam float64
+	// MinMembers drops groups smaller than this (default 10).
+	MinMembers int
+}
+
+func (o FOFOptions) withDefaults() FOFOptions {
+	if o.LinkParam == 0 {
+		o.LinkParam = 0.2
+	}
+	if o.MinMembers == 0 {
+		o.MinMembers = 10
+	}
+	return o
+}
+
+// FriendsOfFriends finds halos: maximal sets of particles connected by
+// pair distances below the linking length. The implementation hashes
+// particles into a uniform grid of cell size equal to the linking
+// length, so only the 27 neighbouring cells need scanning per particle
+// — O(N) for homogeneous fields.
+func FriendsOfFriends(s *nbody.System, opt FOFOptions) ([]Halo, error) {
+	opt = opt.withDefaults()
+	n := s.N()
+	if n == 0 {
+		return nil, fmt.Errorf("analysis: empty system")
+	}
+	box := s.Bounds()
+	link := opt.LinkLength
+	if link == 0 {
+		vol := box.Size().X * box.Size().Y * box.Size().Z
+		if vol <= 0 {
+			return nil, fmt.Errorf("analysis: degenerate bounding box")
+		}
+		link = opt.LinkParam * math.Cbrt(vol/float64(n))
+	}
+	if link <= 0 {
+		return nil, fmt.Errorf("analysis: non-positive linking length")
+	}
+
+	// Hash grid.
+	inv := 1 / link
+	type cellKey struct{ X, Y, Z int32 }
+	cellOf := func(p vec.V3) cellKey {
+		return cellKey{
+			int32(math.Floor((p.X - box.Min.X) * inv)),
+			int32(math.Floor((p.Y - box.Min.Y) * inv)),
+			int32(math.Floor((p.Z - box.Min.Z) * inv)),
+		}
+	}
+	cells := make(map[cellKey][]int32, n/2)
+	for i := 0; i < n; i++ {
+		k := cellOf(s.Pos[i])
+		cells[k] = append(cells[k], int32(i))
+	}
+
+	// Union-find over particles.
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]] // path halving
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int32) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+
+	link2 := link * link
+	for i := 0; i < n; i++ {
+		pi := s.Pos[i]
+		c := cellOf(pi)
+		for dx := int32(-1); dx <= 1; dx++ {
+			for dy := int32(-1); dy <= 1; dy++ {
+				for dz := int32(-1); dz <= 1; dz++ {
+					nb := cellKey{c.X + dx, c.Y + dy, c.Z + dz}
+					for _, j := range cells[nb] {
+						if j <= int32(i) {
+							continue
+						}
+						if pi.Dist2(s.Pos[j]) <= link2 {
+							union(int32(i), j)
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// Collect groups.
+	members := make(map[int32][]int32)
+	for i := int32(0); i < int32(n); i++ {
+		r := find(i)
+		members[r] = append(members[r], i)
+	}
+	var halos []Halo
+	for _, ms := range members {
+		if len(ms) < opt.MinMembers {
+			continue
+		}
+		var h Halo
+		h.N = len(ms)
+		for _, i := range ms {
+			m := s.Mass[i]
+			h.Mass += m
+			h.Center = h.Center.MulAdd(m, s.Pos[i])
+			h.VMean = h.VMean.MulAdd(m, s.Vel[i])
+		}
+		h.Center = h.Center.Scale(1 / h.Mass)
+		h.VMean = h.VMean.Scale(1 / h.Mass)
+		radii := make([]float64, len(ms))
+		for k, i := range ms {
+			radii[k] = s.Pos[i].Sub(h.Center).Norm()
+		}
+		sort.Float64s(radii)
+		h.R90 = radii[int(0.9*float64(len(radii)))]
+		halos = append(halos, h)
+	}
+	// Largest first; break ties deterministically by position.
+	sort.Slice(halos, func(a, b int) bool {
+		if halos[a].N != halos[b].N {
+			return halos[a].N > halos[b].N
+		}
+		if halos[a].Center.X != halos[b].Center.X {
+			return halos[a].Center.X < halos[b].Center.X
+		}
+		return halos[a].Center.Y < halos[b].Center.Y
+	})
+	return halos, nil
+}
+
+// MassFunctionBin is one bin of a cumulative halo mass function.
+type MassFunctionBin struct {
+	// MinMass is the bin threshold.
+	MinMass float64
+	// Count is the number of halos at or above the threshold.
+	Count int
+}
+
+// MassFunction returns the cumulative halo count above logarithmically
+// spaced mass thresholds.
+func MassFunction(halos []Halo, bins int) []MassFunctionBin {
+	if len(halos) == 0 || bins < 1 {
+		return nil
+	}
+	minM, maxM := math.Inf(1), math.Inf(-1)
+	for _, h := range halos {
+		if h.Mass < minM {
+			minM = h.Mass
+		}
+		if h.Mass > maxM {
+			maxM = h.Mass
+		}
+	}
+	if minM <= 0 || maxM <= minM {
+		return []MassFunctionBin{{MinMass: minM, Count: len(halos)}}
+	}
+	out := make([]MassFunctionBin, bins)
+	lr := math.Log(maxM / minM)
+	for b := range out {
+		thr := minM * math.Exp(lr*float64(b)/float64(bins))
+		count := 0
+		for _, h := range halos {
+			if h.Mass >= thr {
+				count++
+			}
+		}
+		out[b] = MassFunctionBin{MinMass: thr, Count: count}
+	}
+	return out
+}

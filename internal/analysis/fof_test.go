@@ -1,0 +1,169 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/nbody"
+	"repro/internal/rng"
+	"repro/internal/vec"
+)
+
+// clumps builds k tight Gaussian clumps of m particles each, centred on
+// well-separated points, plus optional uniform background noise.
+func clumps(k, m int, sigma float64, noise int, seed uint64) *nbody.System {
+	r := rng.New(seed)
+	s := nbody.New(k*m + noise)
+	idx := 0
+	for c := 0; c < k; c++ {
+		center := vec.V3{X: float64(c) * 10}
+		for i := 0; i < m; i++ {
+			s.Pos[idx] = center.Add(vec.V3{X: sigma * r.Normal(), Y: sigma * r.Normal(), Z: sigma * r.Normal()})
+			s.Mass[idx] = 1
+			idx++
+		}
+	}
+	for i := 0; i < noise; i++ {
+		s.Pos[idx] = vec.V3{X: r.Uniform(-5, float64(k)*10+5), Y: r.Uniform(-20, 20), Z: r.Uniform(-20, 20)}
+		s.Mass[idx] = 1
+		idx++
+	}
+	return s
+}
+
+func TestFOFFindsClumps(t *testing.T) {
+	s := clumps(3, 200, 0.05, 0, 1)
+	halos, err := FriendsOfFriends(s, FOFOptions{LinkLength: 0.5, MinMembers: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(halos) != 3 {
+		t.Fatalf("found %d halos, want 3", len(halos))
+	}
+	for _, h := range halos {
+		if h.N != 200 {
+			t.Errorf("halo with %d members, want 200", h.N)
+		}
+		if h.Mass != 200 {
+			t.Errorf("halo mass %v", h.Mass)
+		}
+		// Centres at x = 0, 10, 20 (mod ordering).
+		rx := math.Mod(h.Center.X+5, 10) - 5
+		if math.Abs(rx) > 0.1 || math.Abs(h.Center.Y) > 0.1 {
+			t.Errorf("halo centre %v not on a clump", h.Center)
+		}
+		if h.R90 <= 0 || h.R90 > 0.5 {
+			t.Errorf("R90 = %v", h.R90)
+		}
+	}
+	// Sorted largest-first (all equal here, fine), and deterministic.
+	again, _ := FriendsOfFriends(s, FOFOptions{LinkLength: 0.5, MinMembers: 20})
+	for i := range halos {
+		if halos[i].Center != again[i].Center {
+			t.Fatal("nondeterministic halo ordering")
+		}
+	}
+}
+
+func TestFOFMinMembersFilters(t *testing.T) {
+	s := clumps(2, 30, 0.05, 0, 2)
+	halos, err := FriendsOfFriends(s, FOFOptions{LinkLength: 0.5, MinMembers: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(halos) != 0 {
+		t.Errorf("small clumps not filtered: %d halos", len(halos))
+	}
+}
+
+func TestFOFUniformFieldFewHalos(t *testing.T) {
+	// A uniform field at the standard b=0.2 should percolate barely or
+	// not at all: the largest group must stay a small fraction of N.
+	s := nbody.UniformSphere(5000, 1, 1, rng.New(3))
+	halos, err := FriendsOfFriends(s, FOFOptions{MinMembers: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range halos {
+		if h.N > 2500 {
+			t.Errorf("uniform field percolated into a %d-member halo", h.N)
+		}
+	}
+}
+
+func TestFOFNoiseRobust(t *testing.T) {
+	s := clumps(2, 300, 0.05, 500, 4)
+	halos, err := FriendsOfFriends(s, FOFOptions{LinkLength: 0.4, MinMembers: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(halos) != 2 {
+		t.Fatalf("found %d halos in noise, want 2", len(halos))
+	}
+	for _, h := range halos {
+		if h.N < 300 || h.N > 330 {
+			t.Errorf("halo membership %d polluted", h.N)
+		}
+	}
+}
+
+func TestFOFChainLinks(t *testing.T) {
+	// A chain of particles spaced just under the linking length must
+	// form ONE group (transitive linking), even though the ends are far
+	// apart.
+	const n = 100
+	s := nbody.New(n)
+	for i := 0; i < n; i++ {
+		s.Pos[i] = vec.V3{X: float64(i) * 0.9}
+		s.Mass[i] = 1
+	}
+	halos, err := FriendsOfFriends(s, FOFOptions{LinkLength: 1.0, MinMembers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(halos) != 1 || halos[0].N != n {
+		t.Fatalf("chain not linked: %+v", halos)
+	}
+}
+
+func TestFOFEmptyAndDegenerate(t *testing.T) {
+	if _, err := FriendsOfFriends(nbody.New(0), FOFOptions{}); err == nil {
+		t.Error("empty system accepted")
+	}
+	// Coincident points: bounding box is degenerate; derived link
+	// length impossible -> error. Explicit link length works.
+	s := nbody.New(5)
+	for i := range s.Pos {
+		s.Mass[i] = 1
+	}
+	if _, err := FriendsOfFriends(s, FOFOptions{}); err == nil {
+		t.Error("degenerate box accepted with derived link length")
+	}
+	halos, err := FriendsOfFriends(s, FOFOptions{LinkLength: 0.1, MinMembers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(halos) != 1 || halos[0].N != 5 {
+		t.Errorf("coincident points: %+v", halos)
+	}
+}
+
+func TestMassFunction(t *testing.T) {
+	halos := []Halo{{Mass: 1}, {Mass: 10}, {Mass: 100}, {Mass: 100}}
+	mf := MassFunction(halos, 3)
+	if len(mf) != 3 {
+		t.Fatalf("bins = %d", len(mf))
+	}
+	if mf[0].Count != 4 {
+		t.Errorf("lowest threshold count = %d, want 4", mf[0].Count)
+	}
+	// Cumulative counts must be non-increasing.
+	for i := 1; i < len(mf); i++ {
+		if mf[i].Count > mf[i-1].Count {
+			t.Error("mass function not monotone")
+		}
+	}
+	if MassFunction(nil, 3) != nil {
+		t.Error("empty halos should give nil")
+	}
+}

@@ -1,0 +1,103 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/nbody"
+	"repro/internal/rng"
+)
+
+func TestAccuracyCostFrontierShape(t *testing.T) {
+	model := nbody.Plummer(3000, 1, 1, 1, rng.New(61))
+	thetas := []float64{1.2, 0.9, 0.6, 0.4}
+	pts, err := AccuracyCostFrontier(model, FrontierModified, thetas, 256, 1, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(thetas) {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Decreasing θ: cost up, error down.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Interactions <= pts[i-1].Interactions {
+			t.Errorf("cost not increasing at θ=%v", pts[i].Theta)
+		}
+		if pts[i].RMS >= pts[i-1].RMS {
+			t.Errorf("error not decreasing at θ=%v", pts[i].Theta)
+		}
+	}
+}
+
+// TestModifiedFrontierMatchesPaperClaim is experiment E9: the paper's
+// §3 statement (with its refs [15][17]) that "our modified tree
+// algorithm is more accurate than the original tree algorithm for the
+// same accuracy parameter" — and that it "performs larger number of
+// operations". Pair the two frontiers at each θ and check both sides
+// of the trade.
+func TestModifiedFrontierMatchesPaperClaim(t *testing.T) {
+	model := nbody.Plummer(4000, 1, 1, 1, rng.New(62))
+	thetas := []float64{1.4, 1.1, 0.9, 0.7, 0.55, 0.45}
+	mod, err := AccuracyCostFrontier(model, FrontierModified, thetas, 256, 1, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, err := AccuracyCostFrontier(model, FrontierOriginal, thetas, 256, 1, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range thetas {
+		m, o := mod[i], orig[i]
+		t.Logf("θ=%.2f: modified RMS %.4f%% @ %d ints, original RMS %.4f%% @ %d ints",
+			m.Theta, 100*m.RMS, m.Interactions, 100*o.RMS, o.Interactions)
+		if m.RMS >= o.RMS {
+			t.Errorf("θ=%.2f: modified error %.4f%% not below original %.4f%%",
+				m.Theta, 100*m.RMS, 100*o.RMS)
+		}
+		if m.Interactions <= o.Interactions {
+			t.Errorf("θ=%.2f: modified ops %d not above original %d",
+				m.Theta, m.Interactions, o.Interactions)
+		}
+	}
+	// The hardware-economics side: at matched interaction budget the
+	// original can be marginally more accurate (it spends every
+	// interaction on the exact per-particle list) — but the budget is
+	// not the binding constraint on GRAPE: host time is, and the
+	// modified algorithm buys its ~n_g host reduction at an error cost
+	// that stays in the same decade. Document the matched-budget
+	// comparison without asserting a winner.
+	if em, ok := ErrorAtCost(mod, orig[len(orig)-1].Interactions); ok {
+		t.Logf("at the original's densest budget (%d): modified RMS %.4f%% vs original %.4f%%",
+			orig[len(orig)-1].Interactions, 100*em, 100*orig[len(orig)-1].RMS)
+	}
+}
+
+func TestErrorAtCost(t *testing.T) {
+	pts := []FrontierPoint{
+		{Interactions: 100, RMS: 0.1},
+		{Interactions: 10000, RMS: 0.001},
+	}
+	// Log-log midpoint: interactions 1000 -> RMS 0.01.
+	e, ok := ErrorAtCost(pts, 1000)
+	if !ok {
+		t.Fatal("interpolation failed")
+	}
+	if e < 0.009 || e > 0.011 {
+		t.Errorf("interpolated error = %v, want ~0.01", e)
+	}
+	if _, ok := ErrorAtCost(pts, 50); ok {
+		t.Error("out-of-range budget accepted")
+	}
+	if _, ok := ErrorAtCost(pts[:1], 100); ok {
+		t.Error("single-point frontier accepted")
+	}
+}
+
+func TestFrontierValidation(t *testing.T) {
+	if _, err := AccuracyCostFrontier(nbody.New(0), FrontierModified, []float64{0.7}, 64, 1, 0.01); err == nil {
+		t.Error("empty system accepted")
+	}
+	model := nbody.Plummer(100, 1, 1, 1, rng.New(63))
+	if _, err := AccuracyCostFrontier(model, FrontierAlgorithm(9), []float64{0.7}, 64, 1, 0.01); err == nil {
+		t.Error("bad algorithm accepted")
+	}
+}

@@ -1,0 +1,156 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/nbody"
+	"repro/internal/rng"
+	"repro/internal/vec"
+)
+
+func TestMeasurePowerSpectrumValidation(t *testing.T) {
+	s := nbody.UniformSphere(100, 1, 1, rng.New(1))
+	b := vec.NewBox(vec.V3{X: -2, Y: -2, Z: -2}, vec.V3{X: 2, Y: 2, Z: 2})
+	if _, err := MeasurePowerSpectrum(s, b, 12, 4); err == nil {
+		t.Error("non-pow2 mesh accepted")
+	}
+	if _, err := MeasurePowerSpectrum(s, b, 16, 0); err == nil {
+		t.Error("zero bins accepted")
+	}
+	bad := vec.NewBox(vec.V3{}, vec.V3{X: 1, Y: 2, Z: 1})
+	if _, err := MeasurePowerSpectrum(s, bad, 16, 4); err == nil {
+		t.Error("non-cubic box accepted")
+	}
+	empty := nbody.New(0)
+	if _, err := MeasurePowerSpectrum(empty, b, 16, 4); err == nil {
+		t.Error("empty system accepted")
+	}
+}
+
+func TestPoissonFieldIsShotNoise(t *testing.T) {
+	// Unclustered random points: after shot-noise subtraction P(k) ≈ 0
+	// (small compared to the shot level V/N).
+	r := rng.New(2)
+	const n = 20000
+	s := nbody.New(n)
+	for i := range s.Pos {
+		s.Pos[i] = vec.V3{X: r.Uniform(0, 10), Y: r.Uniform(0, 10), Z: r.Uniform(0, 10)}
+		s.Mass[i] = 1
+	}
+	b := vec.NewBox(vec.V3{}, vec.V3{X: 10, Y: 10, Z: 10})
+	bins, err := MeasurePowerSpectrum(s, b, 32, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shot := 1000.0 / n
+	for _, pb := range bins {
+		if math.Abs(pb.P) > shot {
+			t.Errorf("Poisson P(%v) = %v, want |P| << shot %v", pb.K, pb.P, shot)
+		}
+		if pb.Modes == 0 {
+			t.Error("empty bin returned")
+		}
+	}
+}
+
+func TestSingleModePower(t *testing.T) {
+	// Particles arranged with a sinusoidal density modulation along x
+	// must show excess power at that k and not much elsewhere.
+	r := rng.New(3)
+	const n = 60000
+	const l = 10.0
+	const waves = 4 // k = 2π·4/l
+	s := nbody.New(n)
+	count := 0
+	for count < n {
+		x := r.Uniform(0, l)
+		// Acceptance ∝ 1 + 0.8 sin(2π·waves·x/l).
+		if r.Float64() < (1+0.8*math.Sin(2*math.Pi*waves*x/l))/1.8 {
+			s.Pos[count] = vec.V3{X: x, Y: r.Uniform(0, l), Z: r.Uniform(0, l)}
+			s.Mass[count] = 1
+			count++
+		}
+	}
+	b := vec.NewBox(vec.V3{}, vec.V3{X: l, Y: l, Z: l})
+	bins, err := MeasurePowerSpectrum(s, b, 64, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kTarget := 2 * math.Pi * waves / l
+	var atTarget, elsewhere float64
+	var elseCount int
+	for _, pb := range bins {
+		if math.Abs(pb.K-kTarget)/kTarget < 0.35 {
+			if pb.P > atTarget {
+				atTarget = pb.P
+			}
+		} else if pb.K > 2*kTarget {
+			elsewhere += math.Abs(pb.P)
+			elseCount++
+		}
+	}
+	if elseCount == 0 {
+		t.Fatal("no high-k bins")
+	}
+	if atTarget < 5*elsewhere/float64(elseCount) {
+		t.Errorf("mode power %v not well above background %v", atTarget, elsewhere/float64(elseCount))
+	}
+}
+
+func TestClusteringGrowsPower(t *testing.T) {
+	// A clumped distribution has more small-scale power than a uniform
+	// one.
+	r := rng.New(4)
+	mk := func(clumped bool) *nbody.System {
+		s := nbody.New(10000)
+		for i := range s.Pos {
+			if clumped {
+				cx := float64(r.Intn(4))*2.5 + 1
+				cy := float64(r.Intn(4))*2.5 + 1
+				cz := float64(r.Intn(4))*2.5 + 1
+				s.Pos[i] = vec.V3{X: cx + 0.2*r.Normal(), Y: cy + 0.2*r.Normal(), Z: cz + 0.2*r.Normal()}
+			} else {
+				s.Pos[i] = vec.V3{X: r.Uniform(0, 10), Y: r.Uniform(0, 10), Z: r.Uniform(0, 10)}
+			}
+			s.Mass[i] = 1
+		}
+		return s
+	}
+	b := vec.NewBox(vec.V3{}, vec.V3{X: 10, Y: 10, Z: 10})
+	pu, err := MeasurePowerSpectrum(mk(false), b, 32, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, err := MeasurePowerSpectrum(mk(true), b, 32, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The clump power lives near the clump scale (k ~ 1/0.2); compare
+	// the integrated |P| across all measured bins.
+	var sumU, sumC float64
+	for _, pb := range pu {
+		sumU += math.Abs(pb.P)
+	}
+	for _, pb := range pc {
+		sumC += math.Abs(pb.P)
+	}
+	if sumC < 10*sumU {
+		t.Errorf("clumped integrated power %v not ≫ uniform %v", sumC, sumU)
+	}
+}
+
+func TestCICWindow(t *testing.T) {
+	if w := cicWindow(0, 1); w != 1 {
+		t.Errorf("W(0) = %v", w)
+	}
+	// Monotone decreasing toward the Nyquist frequency.
+	prev := 1.0
+	for _, f := range []float64{0.2, 0.5, 0.8, 1.0} {
+		w := cicWindow(f, 1)
+		if w >= prev {
+			t.Errorf("window not decreasing at %v", f)
+		}
+		prev = w
+	}
+}

@@ -1,0 +1,176 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/nbody"
+)
+
+// Projection is a 2-D particle-count image of a slab, the form of the
+// paper's Figure 4 ("particles in a 45Mpc × 45Mpc × 2.5Mpc box are
+// plotted").
+type Projection struct {
+	// W, H are the image dimensions in pixels.
+	W, H int
+	// Counts holds particle counts per pixel, row-major, y-major.
+	Counts []int
+	// Kept is the number of particles inside the slab.
+	Kept int
+	// XMin, XMax, YMin, YMax bound the projected plane.
+	XMin, XMax, YMin, YMax float64
+}
+
+// SlabSpec selects the slab: particles with ZMin <= z < ZMax projected
+// onto the (x, y) plane window [XMin,XMax) × [YMin,YMax).
+type SlabSpec struct {
+	XMin, XMax, YMin, YMax, ZMin, ZMax float64
+}
+
+// Figure4Slab returns the paper's slab for a sphere of the given
+// physical radius centred at the origin: a 0.9R × 0.9R window (45 Mpc
+// of a 50 Mpc sphere) with thickness 0.05R (2.5 Mpc).
+func Figure4Slab(radius float64) SlabSpec {
+	half := 0.45 * radius
+	thick := 0.025 * radius
+	return SlabSpec{
+		XMin: -half, XMax: half,
+		YMin: -half, YMax: half,
+		ZMin: -thick, ZMax: thick,
+	}
+}
+
+// Project renders the slab at the given pixel resolution.
+func Project(s *nbody.System, spec SlabSpec, w, h int) (*Projection, error) {
+	if w < 1 || h < 1 {
+		return nil, fmt.Errorf("analysis: non-positive image size")
+	}
+	if !(spec.XMax > spec.XMin) || !(spec.YMax > spec.YMin) || !(spec.ZMax > spec.ZMin) {
+		return nil, fmt.Errorf("analysis: degenerate slab")
+	}
+	p := &Projection{
+		W: w, H: h, Counts: make([]int, w*h),
+		XMin: spec.XMin, XMax: spec.XMax, YMin: spec.YMin, YMax: spec.YMax,
+	}
+	sx := float64(w) / (spec.XMax - spec.XMin)
+	sy := float64(h) / (spec.YMax - spec.YMin)
+	for _, pos := range s.Pos {
+		if pos.Z < spec.ZMin || pos.Z >= spec.ZMax {
+			continue
+		}
+		ix := int((pos.X - spec.XMin) * sx)
+		iy := int((pos.Y - spec.YMin) * sy)
+		if ix < 0 || ix >= w || iy < 0 || iy >= h {
+			continue
+		}
+		p.Counts[iy*w+ix]++
+		p.Kept++
+	}
+	return p, nil
+}
+
+// MaxCount returns the highest per-pixel count.
+func (p *Projection) MaxCount() int {
+	m := 0
+	for _, c := range p.Counts {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// WritePGM writes the projection as a binary 8-bit PGM image with
+// logarithmic intensity scaling (astronomical plots are log-stretched;
+// the paper's scatter plot saturates at one particle).
+func (p *Projection) WritePGM(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "P5\n%d %d\n255\n", p.W, p.H); err != nil {
+		return err
+	}
+	maxC := p.MaxCount()
+	scale := 0.0
+	if maxC > 0 {
+		scale = 255 / math.Log1p(float64(maxC))
+	}
+	row := make([]byte, p.W)
+	for y := 0; y < p.H; y++ {
+		for x := 0; x < p.W; x++ {
+			c := p.Counts[y*p.W+x]
+			row[x] = byte(math.Log1p(float64(c)) * scale)
+		}
+		if _, err := w.Write(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ASCII renders the projection as character art, one character per
+// pixel block, for terminal inspection of snapshots.
+func (p *Projection) ASCII(cols int) string {
+	if cols < 1 {
+		cols = 64
+	}
+	if cols > p.W {
+		cols = p.W
+	}
+	rows := cols / 2 // terminal cells are ~2:1
+	if rows < 1 {
+		rows = 1
+	}
+	shades := []byte(" .:-=+*#%@")
+	bw := (p.W + cols - 1) / cols
+	bh := (p.H + rows - 1) / rows
+	maxBlock := 0
+	blocks := make([]int, cols*rows)
+	for y := 0; y < p.H; y++ {
+		for x := 0; x < p.W; x++ {
+			bx, by := x/bw, y/bh
+			if bx >= cols || by >= rows {
+				continue
+			}
+			blocks[by*cols+bx] += p.Counts[y*p.W+x]
+			if blocks[by*cols+bx] > maxBlock {
+				maxBlock = blocks[by*cols+bx]
+			}
+		}
+	}
+	var out []byte
+	for y := rows - 1; y >= 0; y-- { // astronomical convention: y up
+		for x := 0; x < cols; x++ {
+			c := blocks[y*cols+x]
+			idx := 0
+			if maxBlock > 0 && c > 0 {
+				idx = 1 + int(math.Log1p(float64(c))/math.Log1p(float64(maxBlock))*float64(len(shades)-2))
+				if idx >= len(shades) {
+					idx = len(shades) - 1
+				}
+			}
+			out = append(out, shades[idx])
+		}
+		out = append(out, '\n')
+	}
+	return string(out)
+}
+
+// ClusteringContrast returns the variance-to-mean ratio of per-pixel
+// counts — 1 for Poisson (unclustered) particles, > 1 once gravitational
+// clustering develops. It is the quantitative check behind "Figure 4
+// shows structure".
+func (p *Projection) ClusteringContrast() float64 {
+	occupied := 0
+	var sum, sum2 float64
+	for _, c := range p.Counts {
+		sum += float64(c)
+		sum2 += float64(c) * float64(c)
+		occupied++
+	}
+	if occupied == 0 || sum == 0 {
+		return 0
+	}
+	n := float64(occupied)
+	mean := sum / n
+	variance := sum2/n - mean*mean
+	return variance / mean
+}

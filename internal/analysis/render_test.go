@@ -1,0 +1,124 @@
+package analysis
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/nbody"
+	"repro/internal/rng"
+	"repro/internal/vec"
+)
+
+func TestProjectBasics(t *testing.T) {
+	s := nbody.New(4)
+	for i := range s.Mass {
+		s.Mass[i] = 1
+	}
+	s.Pos[0] = vec.V3{X: -0.9, Y: -0.9, Z: 0} // bottom-left
+	s.Pos[1] = vec.V3{X: 0.9, Y: 0.9, Z: 0}   // top-right
+	s.Pos[2] = vec.V3{X: 0, Y: 0, Z: 5}       // outside slab
+	s.Pos[3] = vec.V3{X: 0.9, Y: 0.9, Z: 0}   // duplicate pixel
+	spec := SlabSpec{XMin: -1, XMax: 1, YMin: -1, YMax: 1, ZMin: -1, ZMax: 1}
+	p, err := Project(s, spec, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Kept != 3 {
+		t.Errorf("kept = %d, want 3", p.Kept)
+	}
+	if p.Counts[0*10+0] != 1 {
+		t.Errorf("bottom-left count = %d", p.Counts[0])
+	}
+	if p.Counts[9*10+9] != 2 {
+		t.Errorf("top-right count = %d", p.Counts[9*10+9])
+	}
+	if p.MaxCount() != 2 {
+		t.Errorf("max = %d", p.MaxCount())
+	}
+}
+
+func TestProjectValidation(t *testing.T) {
+	s := nbody.New(1)
+	s.Mass[0] = 1
+	if _, err := Project(s, SlabSpec{XMax: 1, YMax: 1, ZMax: 1}, 0, 10); err == nil {
+		t.Error("zero width accepted")
+	}
+	if _, err := Project(s, SlabSpec{XMin: 1, XMax: 0, YMax: 1, ZMax: 1}, 10, 10); err == nil {
+		t.Error("degenerate slab accepted")
+	}
+}
+
+func TestFigure4Slab(t *testing.T) {
+	spec := Figure4Slab(50) // the paper's numbers
+	if spec.XMax-spec.XMin != 45 || spec.YMax-spec.YMin != 45 {
+		t.Errorf("window = %v x %v, want 45 x 45", spec.XMax-spec.XMin, spec.YMax-spec.YMin)
+	}
+	if spec.ZMax-spec.ZMin != 2.5 {
+		t.Errorf("thickness = %v, want 2.5", spec.ZMax-spec.ZMin)
+	}
+}
+
+func TestWritePGM(t *testing.T) {
+	s := nbody.UniformSphere(1000, 1, 1, rng.New(1))
+	p, err := Project(s, SlabSpec{XMin: -1, XMax: 1, YMin: -1, YMax: 1, ZMin: -1, ZMax: 1}, 32, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := p.WritePGM(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.Bytes()
+	if !bytes.HasPrefix(out, []byte("P5\n32 32\n255\n")) {
+		t.Errorf("bad PGM header: %q", out[:20])
+	}
+	wantLen := len("P5\n32 32\n255\n") + 32*32
+	if len(out) != wantLen {
+		t.Errorf("PGM length = %d, want %d", len(out), wantLen)
+	}
+}
+
+func TestASCII(t *testing.T) {
+	s := nbody.UniformSphere(500, 1, 1, rng.New(2))
+	p, _ := Project(s, SlabSpec{XMin: -1, XMax: 1, YMin: -1, YMax: 1, ZMin: -1, ZMax: 1}, 64, 64)
+	art := p.ASCII(32)
+	lines := strings.Split(strings.TrimRight(art, "\n"), "\n")
+	if len(lines) != 16 {
+		t.Errorf("rows = %d, want 16", len(lines))
+	}
+	for _, l := range lines {
+		if len(l) != 32 {
+			t.Fatalf("row length = %d, want 32", len(l))
+		}
+	}
+	if !strings.ContainsAny(art, ".:-=+*#%@") {
+		t.Error("ASCII art is empty")
+	}
+}
+
+func TestClusteringContrast(t *testing.T) {
+	// Poisson points: contrast ~1. All points in one pixel: contrast >> 1.
+	r := rng.New(3)
+	uniform := nbody.New(5000)
+	for i := range uniform.Pos {
+		uniform.Pos[i] = vec.V3{X: r.Uniform(-1, 1), Y: r.Uniform(-1, 1)}
+		uniform.Mass[i] = 1
+	}
+	spec := SlabSpec{XMin: -1, XMax: 1, YMin: -1, YMax: 1, ZMin: -1, ZMax: 1}
+	pu, _ := Project(uniform, spec, 16, 16)
+	cu := pu.ClusteringContrast()
+	if cu < 0.5 || cu > 2 {
+		t.Errorf("Poisson contrast = %v, want ~1", cu)
+	}
+
+	clumped := nbody.New(5000)
+	for i := range clumped.Pos {
+		clumped.Pos[i] = vec.V3{X: 0.01 * r.Normal(), Y: 0.01 * r.Normal()}
+		clumped.Mass[i] = 1
+	}
+	pc, _ := Project(clumped, spec, 16, 16)
+	if cc := pc.ClusteringContrast(); cc < 10*cu {
+		t.Errorf("clumped contrast %v not ≫ Poisson %v", cc, cu)
+	}
+}

@@ -1,0 +1,181 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/nbody"
+	"repro/internal/rng"
+	"repro/internal/vec"
+)
+
+// ProfileBin is one radial shell of a density profile.
+type ProfileBin struct {
+	// RInner, ROuter bound the shell; RMid is the mid-radius.
+	RInner, ROuter, RMid float64
+	// Count is the number of particles in the shell.
+	Count int
+	// Density is the shell's mass density.
+	Density float64
+	// EnclosedMass is the total mass within ROuter.
+	EnclosedMass float64
+}
+
+// DensityProfile bins particles into logarithmic radial shells about
+// the given centre between rMin and rMax.
+func DensityProfile(s *nbody.System, center vec.V3, rMin, rMax float64, bins int) ([]ProfileBin, error) {
+	if bins < 1 || !(rMax > rMin) || rMin <= 0 {
+		return nil, fmt.Errorf("analysis: invalid profile binning")
+	}
+	out := make([]ProfileBin, bins)
+	lr := math.Log(rMax / rMin)
+	for b := range out {
+		out[b].RInner = rMin * math.Exp(lr*float64(b)/float64(bins))
+		out[b].ROuter = rMin * math.Exp(lr*float64(b+1)/float64(bins))
+		out[b].RMid = math.Sqrt(out[b].RInner * out[b].ROuter)
+	}
+	masses := make([]float64, bins)
+	var inner float64
+	for i, p := range s.Pos {
+		r := p.Sub(center).Norm()
+		if r < rMin {
+			inner += s.Mass[i]
+			continue
+		}
+		if r >= rMax {
+			continue
+		}
+		b := int(math.Log(r/rMin) / lr * float64(bins))
+		if b >= bins {
+			b = bins - 1
+		}
+		out[b].Count++
+		masses[b] += s.Mass[i]
+	}
+	enclosed := inner
+	for b := range out {
+		vol := 4 * math.Pi / 3 * (math.Pow(out[b].ROuter, 3) - math.Pow(out[b].RInner, 3))
+		out[b].Density = masses[b] / vol
+		enclosed += masses[b]
+		out[b].EnclosedMass = enclosed
+	}
+	return out, nil
+}
+
+// LagrangianRadius returns the radius about center enclosing the given
+// mass fraction.
+func LagrangianRadius(s *nbody.System, center vec.V3, frac float64) float64 {
+	radii := make([]float64, s.N())
+	for i, p := range s.Pos {
+		radii[i] = p.Sub(center).Norm()
+	}
+	// Equal masses assumed close enough for this diagnostic: sort radii
+	// and take the rank quantile.
+	sort.Float64s(radii)
+	idx := int(frac * float64(len(radii)))
+	if idx >= len(radii) {
+		idx = len(radii) - 1
+	}
+	return radii[idx]
+}
+
+// CorrelationFunction estimates the two-point correlation function
+// ξ(r) in logarithmic bins using the Peebles-Hauser estimator
+// DD/RR - 1 with analytic RR for a spherical sample volume of radius
+// sampleR about center. pairs limits the Monte-Carlo pair sampling
+// (all pairs when N(N-1)/2 <= pairs).
+type CorrelationBin struct {
+	RMid float64
+	Xi   float64
+	DD   int
+}
+
+// CorrelationFunction estimates ξ(r). It subsamples pairs for large N,
+// drawing them deterministically from seed.
+func CorrelationFunction(s *nbody.System, center vec.V3, sampleR, rMin, rMax float64, bins, pairs int, seed uint64) ([]CorrelationBin, error) {
+	if bins < 1 || !(rMax > rMin) || rMin <= 0 {
+		return nil, fmt.Errorf("analysis: invalid correlation binning")
+	}
+	// Select particles in the sample sphere.
+	var idx []int
+	for i, p := range s.Pos {
+		if p.Sub(center).Norm() <= sampleR {
+			idx = append(idx, i)
+		}
+	}
+	n := len(idx)
+	if n < 2 {
+		return nil, fmt.Errorf("analysis: too few particles in sample sphere")
+	}
+	lr := math.Log(rMax / rMin)
+	dd := make([]int, bins)
+	var totalPairs float64
+
+	record := func(a, b int) {
+		r := s.Pos[a].Sub(s.Pos[b]).Norm()
+		if r < rMin || r >= rMax {
+			return
+		}
+		bin := int(math.Log(r/rMin) / lr * float64(bins))
+		if bin >= 0 && bin < bins {
+			dd[bin]++
+		}
+	}
+
+	allPairs := n*(n-1)/2 <= pairs
+	if allPairs {
+		for a := 0; a < n; a++ {
+			for b := a + 1; b < n; b++ {
+				record(idx[a], idx[b])
+			}
+		}
+		totalPairs = float64(n) * float64(n-1) / 2
+	} else {
+		src := rng.New(seed)
+		for k := 0; k < pairs; k++ {
+			a := src.Intn(n)
+			b := src.Intn(n)
+			if a == b {
+				continue
+			}
+			record(idx[a], idx[b])
+			totalPairs++
+		}
+	}
+
+	// Analytic RR: for a uniform distribution the expected pair-distance
+	// density in a sphere of radius R follows the known overlap formula.
+	out := make([]CorrelationBin, bins)
+	for b := range out {
+		rIn := rMin * math.Exp(lr*float64(b)/float64(bins))
+		rOut := rMin * math.Exp(lr*float64(b+1)/float64(bins))
+		out[b].RMid = math.Sqrt(rIn * rOut)
+		out[b].DD = dd[b]
+		expected := totalPairs * (pairFraction(rOut, sampleR) - pairFraction(rIn, sampleR))
+		if expected > 0 {
+			out[b].Xi = float64(dd[b])/expected - 1
+		}
+	}
+	return out, nil
+}
+
+// pairFraction returns the fraction of point pairs in a uniform sphere
+// of radius R with separation <= r (the pair-distance CDF). With
+// s = r/R ∈ [0, 2]:
+//
+//	F(s) = s³ - (9/16)s⁴ + (1/32)s⁶
+//
+// (derivative 3s² - (9/4)s³ + (3/16)s⁵ is the classic pair-distance
+// density; F(2) = 1).
+func pairFraction(r, sphereR float64) float64 {
+	s := r / sphereR
+	if s <= 0 {
+		return 0
+	}
+	if s >= 2 {
+		return 1
+	}
+	s3 := s * s * s
+	return s3 - 9.0/16*s3*s + s3*s3/32
+}

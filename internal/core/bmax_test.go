@@ -1,0 +1,123 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/nbody"
+	"repro/internal/vec"
+)
+
+// TestBmaxMACMoreAccurate: at the same θ, the bmax criterion opens more
+// cells (higher cost) and yields smaller force errors than the
+// geometric edge-length criterion.
+func TestBmaxMACMoreAccurate(t *testing.T) {
+	s := plummer(3000, 21)
+	ref := s.Clone()
+	nbody.DirectForces(ref, 1, 0.01)
+	refByID := make(map[int64]vec.V3)
+	for i := range ref.Pos {
+		refByID[ref.ID[i]] = ref.Acc[i]
+	}
+	measure := func(useBmax bool) (float64, int64) {
+		sc := s.Clone()
+		tc := New(Options{Theta: 0.9, UseBmax: useBmax, Ncrit: 128, G: 1, Eps: 0.01}, nil)
+		st, err := tc.ComputeForces(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refOrdered := make([]vec.V3, sc.N())
+		for i := range sc.Pos {
+			refOrdered[i] = refByID[sc.ID[i]]
+		}
+		return rmsForceError(sc.Acc, refOrdered), st.Interactions
+	}
+	errGeo, costGeo := measure(false)
+	errBmax, costBmax := measure(true)
+	if errBmax >= errGeo {
+		t.Errorf("bmax error %v not below geometric %v", errBmax, errGeo)
+	}
+	if costBmax <= costGeo {
+		t.Errorf("bmax cost %d not above geometric %d", costBmax, costGeo)
+	}
+}
+
+// TestWorkersExceedingGroups: more workers than groups must not break
+// or change results.
+func TestWorkersExceedingGroups(t *testing.T) {
+	s := plummer(200, 22)
+	tc := New(Options{Theta: 0.75, Ncrit: 100000, G: 1, Eps: 0.01, Workers: 16}, nil)
+	st, err := tc.ComputeForces(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Groups != 1 {
+		t.Errorf("groups = %d, want 1", st.Groups)
+	}
+	for i := range s.Acc {
+		if !s.Acc[i].IsFinite() {
+			t.Fatalf("non-finite acceleration at %d", i)
+		}
+	}
+}
+
+// TestDeterministicAcrossRuns: the same input system must produce
+// bit-identical forces on repeated runs (no map-iteration or
+// scheduling nondeterminism).
+func TestDeterministicAcrossRuns(t *testing.T) {
+	s := plummer(1000, 23)
+	run := func() []vec.V3 {
+		sc := s.Clone()
+		tc := New(Options{Theta: 0.75, Ncrit: 128, G: 1, Eps: 0.01, Workers: 4}, nil)
+		if _, err := tc.ComputeForces(sc); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]vec.V3, sc.N())
+		copy(out, sc.Acc)
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic force at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestPotentialSignAndScale: tree potentials must be negative and match
+// direct sums closely in aggregate.
+func TestPotentialSignAndScale(t *testing.T) {
+	s := plummer(2000, 24)
+	ref := s.Clone()
+	tc := New(Options{Theta: 0.6, Ncrit: 128, G: 1, Eps: 0.01}, nil)
+	if _, err := tc.ComputeForces(s); err != nil {
+		t.Fatal(err)
+	}
+	treePE := nbody.PotentialEnergyFromPot(s)
+	directPE := nbody.PotentialEnergy(ref, 1, 0.01)
+	if treePE >= 0 {
+		t.Errorf("tree PE = %v, must be negative", treePE)
+	}
+	if math.Abs(treePE-directPE)/math.Abs(directPE) > 0.01 {
+		t.Errorf("tree PE %v vs direct %v", treePE, directPE)
+	}
+}
+
+// TestCountOriginalMatchesWalk: the count-only walk must agree exactly
+// with the interaction count of the force-computing original walk.
+func TestCountOriginalMatchesWalk(t *testing.T) {
+	s := plummer(1500, 25)
+	tcA := New(Options{Theta: 0.75, G: 1, Eps: 0.01}, nil)
+	st, err := tcA.ComputeForcesOriginal(s.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcB := New(Options{Theta: 0.75, G: 1, Eps: 0.01}, nil)
+	count, err := tcB.CountOriginal(s.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != st.Interactions {
+		t.Errorf("count-only %d != walk %d", count, st.Interactions)
+	}
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/nbody"
+	"repro/internal/octree"
+	"repro/internal/vec"
+)
+
+// ComputeForcesOriginalOnEngine runs the ORIGINAL Barnes-Hut algorithm
+// with force evaluation dispatched to the engine: one interaction list
+// per particle, one engine batch per particle (i-count 1).
+//
+// This is the §3 counterfactual: on GRAPE hardware the per-particle
+// batches leave 95 of the 96 virtual pipelines idle and the host walk
+// runs N times instead of N/n_g times, which is exactly why Barnes'
+// modified algorithm exists. Provided for the ablation benchmarks; use
+// ComputeForces for real work.
+func (tc *Treecode) ComputeForcesOriginalOnEngine(s *nbody.System) (*Stats, error) {
+	o := tc.Opt.withDefaults()
+	stats := &Stats{N: s.N(), Groups: s.N(), MinList: -1}
+
+	t0 := time.Now()
+	tree, err := octree.Build(s, &octree.Options{LeafCap: o.LeafCap})
+	if err != nil {
+		return nil, err
+	}
+	tc.Tree = tree
+	stats.BuildTime = time.Since(t0)
+
+	for i := range s.Acc {
+		s.Acc[i] = vec.Zero
+		s.Pot[i] = 0
+	}
+
+	mac := octree.OpenCriterion{Theta: o.Theta, UseBmax: o.UseBmax}
+	n := s.N()
+	workers := o.Workers
+	if workers > n {
+		workers = n
+	}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			local := Stats{MinList: -1}
+			buf := &listBuf{}
+			for i := lo; i < hi; i++ {
+				tw0 := time.Now()
+				tc.buildParticleList(tree, i, mac, buf)
+				local.WalkTime += time.Since(tw0)
+
+				nj := len(buf.jpos)
+				local.Interactions += int64(nj)
+				local.ListSum += int64(nj)
+				if nj > local.MaxList {
+					local.MaxList = nj
+				}
+				if local.MinList < 0 || nj < local.MinList {
+					local.MinList = nj
+				}
+
+				tc0 := time.Now()
+				req := Request{
+					IPos:  s.Pos[i : i+1],
+					JPos:  buf.jpos,
+					JMass: buf.jmass,
+					Acc:   s.Acc[i : i+1],
+					Pot:   s.Pot[i : i+1],
+				}
+				tc.Engine.Accumulate(&req)
+				local.ComputeTime += time.Since(tc0)
+			}
+			mu.Lock()
+			stats.Interactions += local.Interactions
+			stats.ListSum += local.ListSum
+			stats.WalkTime += local.WalkTime
+			stats.ComputeTime += local.ComputeTime
+			if local.MaxList > stats.MaxList {
+				stats.MaxList = local.MaxList
+			}
+			if local.MinList >= 0 && (stats.MinList < 0 || local.MinList < stats.MinList) {
+				stats.MinList = local.MinList
+			}
+			mu.Unlock()
+		}(lo, hi)
+	}
+	wg.Wait()
+	if stats.MinList < 0 {
+		stats.MinList = 0
+	}
+	return stats, nil
+}
+
+// buildParticleList fills buf with the per-particle interaction list of
+// the original algorithm: accepted cells' centres of mass plus
+// particles of opened leaves (excluding particle i itself — although
+// engines guard zero-distance pairs anyway, excluding it here keeps the
+// list length equal to the walk-based interaction count).
+func (tc *Treecode) buildParticleList(tree *octree.Tree, i int, mac octree.OpenCriterion, buf *listBuf) {
+	buf.stack = buf.stack[:0]
+	buf.jpos = buf.jpos[:0]
+	buf.jmass = buf.jmass[:0]
+	s := tree.Sys
+	pi := s.Pos[i]
+	buf.stack = append(buf.stack, 0)
+	for len(buf.stack) > 0 {
+		idx := buf.stack[len(buf.stack)-1]
+		buf.stack = buf.stack[:len(buf.stack)-1]
+		n := &tree.Nodes[idx]
+		d2 := pi.Dist2(n.COM)
+		if mac.Accept(n, d2) {
+			buf.jpos = append(buf.jpos, n.COM)
+			buf.jmass = append(buf.jmass, n.Mass)
+			continue
+		}
+		if n.Leaf {
+			for j := n.Start; j < n.Start+n.Count; j++ {
+				if int(j) == i {
+					continue
+				}
+				buf.jpos = append(buf.jpos, s.Pos[j])
+				buf.jmass = append(buf.jmass, s.Mass[j])
+			}
+			continue
+		}
+		for _, c := range n.Children {
+			if c != octree.NoChild {
+				buf.stack = append(buf.stack, c)
+			}
+		}
+	}
+}

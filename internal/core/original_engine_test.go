@@ -1,0 +1,67 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/nbody"
+	"repro/internal/vec"
+)
+
+func TestOriginalOnEngineMatchesWalk(t *testing.T) {
+	// The engine-dispatched original algorithm must produce the same
+	// forces and interaction counts as the walk-integrated one.
+	s := plummer(1500, 31)
+	sA := s.Clone()
+	sB := s.Clone()
+
+	tcA := New(Options{Theta: 0.75, G: 1, Eps: 0.01}, nil)
+	stA, err := tcA.ComputeForcesOriginal(sA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcB := New(Options{Theta: 0.75, G: 1, Eps: 0.01}, nil)
+	stB, err := tcB.ComputeForcesOriginalOnEngine(sB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stA.Interactions != stB.Interactions {
+		t.Errorf("interaction counts differ: %d vs %d", stA.Interactions, stB.Interactions)
+	}
+	aByID := make(map[int64]vec.V3)
+	for i := range sA.Pos {
+		aByID[sA.ID[i]] = sA.Acc[i]
+	}
+	for i := range sB.Pos {
+		want := aByID[sB.ID[i]]
+		if sB.Acc[i].Sub(want).Norm() > 1e-10*(1+want.Norm()) {
+			t.Fatalf("forces differ at ID %d: %v vs %v", sB.ID[i], sB.Acc[i], want)
+		}
+	}
+}
+
+func TestOriginalOnEngineDirectLimit(t *testing.T) {
+	s := plummer(200, 32)
+	ref := s.Clone()
+	nbody.DirectForces(ref, 1, 0.02)
+	refByID := make(map[int64]vec.V3)
+	for i := range ref.Pos {
+		refByID[ref.ID[i]] = ref.Acc[i]
+	}
+	tc := New(Options{Theta: 1e-9, G: 1, Eps: 0.02}, nil)
+	if _, err := tc.ComputeForcesOriginalOnEngine(s); err != nil {
+		t.Fatal(err)
+	}
+	for i := range s.Pos {
+		want := refByID[s.ID[i]]
+		if s.Acc[i].Sub(want).Norm() > 1e-10*(1+want.Norm()) {
+			t.Fatalf("θ→0 mismatch at ID %d", s.ID[i])
+		}
+	}
+}
+
+func TestOriginalOnEngineEmptyFails(t *testing.T) {
+	tc := New(Options{}, nil)
+	if _, err := tc.ComputeForcesOriginalOnEngine(nbody.New(0)); err == nil {
+		t.Error("empty system accepted")
+	}
+}

@@ -1,0 +1,512 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/nbody"
+	"repro/internal/octree"
+	"repro/internal/vec"
+)
+
+// Options configure a treecode force calculation.
+type Options struct {
+	// Theta is the Barnes-Hut opening parameter (default 0.75, the
+	// common choice of the era and our stand-in for the paper's
+	// "accuracy parameter").
+	Theta float64
+	// UseBmax selects the conservative bmax opening criterion.
+	UseBmax bool
+	// Ncrit is the maximum group population of the modified algorithm
+	// (the paper's n_g knob; optimal ≈ 2000 on DS10 + GRAPE-5).
+	Ncrit int
+	// LeafCap is the octree leaf capacity (default 8).
+	LeafCap int
+	// G is the gravitational constant (default 1).
+	G float64
+	// Eps is the Plummer softening length.
+	Eps float64
+	// Workers sets the traversal parallelism; 0 means GOMAXPROCS.
+	Workers int
+	// RebuildEvery sets the tree-reuse period: a full Morton sort and
+	// rebuild happens every RebuildEvery-th ComputeForces call on the
+	// same system, with cheap centre-of-mass refreshes in between.
+	// 0 or 1 disables reuse (rebuild every call, the paper's mode).
+	// Reuse trades a drift-bounded force approximation for amortised
+	// build cost; see the ablation benchmarks.
+	RebuildEvery int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Theta == 0 {
+		o.Theta = 0.75
+	}
+	if o.Ncrit <= 0 {
+		o.Ncrit = 2000
+	}
+	if o.LeafCap <= 0 {
+		o.LeafCap = 8
+	}
+	if o.G == 0 {
+		o.G = 1
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// Stats reports the work done by one force calculation. Its fields are
+// the quantities the paper's evaluation section is built from.
+type Stats struct {
+	// N is the particle count.
+	N int
+	// Groups is the number of particle groups (modified algorithm) or N
+	// (original algorithm).
+	Groups int
+	// Interactions is the total number of pairwise interactions
+	// evaluated: Σ_groups n_i × n_j. The paper's headline counts
+	// 2.90e13 of these over the full run.
+	Interactions int64
+	// ListSum is Σ_groups n_j (total interaction-list entries built).
+	ListSum int64
+	// CellTerms and ParticleTerms split ListSum by list-entry type.
+	CellTerms, ParticleTerms int64
+	// MinList and MaxList are the extreme list lengths.
+	MinList, MaxList int
+	// NodesVisited counts tree nodes touched during traversal, the
+	// host's walk work measure.
+	NodesVisited int64
+	// BuildTime, WalkTime and ComputeTime are measured wall-clock
+	// durations of the tree build, the traversal (list construction)
+	// and the force evaluation. With Workers > 1, WalkTime and
+	// ComputeTime are summed across workers (CPU time, not elapsed).
+	BuildTime, WalkTime, ComputeTime time.Duration
+}
+
+// AvgList returns the mean interaction-list length per particle,
+// Interactions / N — the paper quotes 13,431 for the headline run.
+func (s *Stats) AvgList() float64 {
+	if s.N == 0 {
+		return 0
+	}
+	return float64(s.Interactions) / float64(s.N)
+}
+
+// Treecode runs tree-based force calculations over a particle system.
+type Treecode struct {
+	Opt    Options
+	Engine Engine
+
+	// Tree is the most recently built octree (valid after a Compute*
+	// call; reused by callers needing group geometry).
+	Tree *octree.Tree
+
+	// sinceBuild counts ComputeForces calls since the last full
+	// rebuild, for the RebuildEvery reuse policy.
+	sinceBuild int
+}
+
+// New returns a treecode with the given options and engine. A nil
+// engine defaults to the float64 host engine.
+func New(opt Options, engine Engine) *Treecode {
+	o := opt.withDefaults()
+	if engine == nil {
+		engine = &HostEngine{G: o.G, Eps: o.Eps}
+	}
+	return &Treecode{Opt: o, Engine: engine}
+}
+
+// listBuf is per-worker traversal scratch space.
+type listBuf struct {
+	stack []int32
+	jpos  []vec.V3
+	jmass []float64
+}
+
+// ComputeForces runs the modified (grouped) tree algorithm: builds the
+// tree (reordering s into Morton order), forms groups of at most Ncrit
+// particles, builds one shared interaction list per group and feeds
+// group members plus list to the engine. Accelerations and potentials
+// are written to s.Acc and s.Pot.
+func (tc *Treecode) ComputeForces(s *nbody.System) (*Stats, error) {
+	o := tc.Opt.withDefaults()
+	stats := &Stats{N: s.N(), MinList: -1}
+
+	t0 := time.Now()
+	reuse := o.RebuildEvery > 1 && tc.Tree != nil && tc.Tree.Sys == s &&
+		tc.sinceBuild < o.RebuildEvery
+	var tree *octree.Tree
+	if reuse {
+		tree = tc.Tree
+		tree.Refresh()
+		tc.sinceBuild++
+	} else {
+		var err error
+		tree, err = octree.Build(s, &octree.Options{LeafCap: o.LeafCap})
+		if err != nil {
+			return nil, err
+		}
+		tc.Tree = tree
+		tc.sinceBuild = 1
+	}
+	stats.BuildTime = time.Since(t0)
+
+	groups := tree.Groups(o.Ncrit)
+	stats.Groups = len(groups)
+	for i := range s.Acc {
+		s.Acc[i] = vec.Zero
+		s.Pot[i] = 0
+	}
+
+	mac := octree.OpenCriterion{Theta: o.Theta, UseBmax: o.UseBmax}
+	var mu sync.Mutex // guards stats aggregation
+	var wg sync.WaitGroup
+	next := make(chan int, len(groups))
+	for gi := range groups {
+		next <- gi
+	}
+	close(next)
+
+	workers := o.Workers
+	if workers > len(groups) {
+		workers = len(groups)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := &listBuf{}
+			local := Stats{MinList: -1}
+			for gi := range next {
+				g := groups[gi]
+				tw0 := time.Now()
+				visited, cells := tc.buildGroupList(tree, g, mac, buf)
+				local.WalkTime += time.Since(tw0)
+
+				nj := len(buf.jpos)
+				ni := int(g.Count)
+				local.Interactions += int64(ni) * int64(nj)
+				local.ListSum += int64(nj)
+				local.CellTerms += int64(cells)
+				local.ParticleTerms += int64(nj - cells)
+				local.NodesVisited += visited
+				if nj > local.MaxList {
+					local.MaxList = nj
+				}
+				if local.MinList < 0 || nj < local.MinList {
+					local.MinList = nj
+				}
+
+				tc0 := time.Now()
+				req := Request{
+					IPos:  s.Pos[g.Start : g.Start+g.Count],
+					JPos:  buf.jpos,
+					JMass: buf.jmass,
+					Acc:   s.Acc[g.Start : g.Start+g.Count],
+					Pot:   s.Pot[g.Start : g.Start+g.Count],
+				}
+				tc.Engine.Accumulate(&req)
+				local.ComputeTime += time.Since(tc0)
+			}
+			mu.Lock()
+			stats.Interactions += local.Interactions
+			stats.ListSum += local.ListSum
+			stats.CellTerms += local.CellTerms
+			stats.ParticleTerms += local.ParticleTerms
+			stats.NodesVisited += local.NodesVisited
+			stats.WalkTime += local.WalkTime
+			stats.ComputeTime += local.ComputeTime
+			if local.MaxList > stats.MaxList {
+				stats.MaxList = local.MaxList
+			}
+			if local.MinList >= 0 && (stats.MinList < 0 || local.MinList < stats.MinList) {
+				stats.MinList = local.MinList
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if stats.MinList < 0 {
+		stats.MinList = 0
+	}
+	return stats, nil
+}
+
+// buildGroupList fills buf with the shared interaction list of group g:
+// centres of mass of accepted cells plus particles of opened leaves.
+// The group's own cell is never accepted (its surface distance to its
+// own contents is zero), so group members enter the list as direct
+// particles — exactly Barnes' formulation. Returns nodes visited and
+// the number of cell (centre-of-mass) entries appended.
+func (tc *Treecode) buildGroupList(tree *octree.Tree, g octree.Group, mac octree.OpenCriterion, buf *listBuf) (int64, int) {
+	buf.stack = buf.stack[:0]
+	buf.jpos = buf.jpos[:0]
+	buf.jmass = buf.jmass[:0]
+	gbox := tree.Nodes[g.Node].Box
+	buf.stack = append(buf.stack, 0)
+	var visited int64
+	cells := 0
+	for len(buf.stack) > 0 {
+		idx := buf.stack[len(buf.stack)-1]
+		buf.stack = buf.stack[:len(buf.stack)-1]
+		n := &tree.Nodes[idx]
+		visited++
+		d2 := gbox.Dist2(n.COM)
+		if mac.Accept(n, d2) {
+			buf.jpos = append(buf.jpos, n.COM)
+			buf.jmass = append(buf.jmass, n.Mass)
+			cells++
+			continue
+		}
+		if n.Leaf {
+			for i := n.Start; i < n.Start+n.Count; i++ {
+				buf.jpos = append(buf.jpos, tree.Sys.Pos[i])
+				buf.jmass = append(buf.jmass, tree.Sys.Mass[i])
+			}
+			continue
+		}
+		for _, c := range n.Children {
+			if c != octree.NoChild {
+				buf.stack = append(buf.stack, c)
+			}
+		}
+	}
+	return visited, cells
+}
+
+// ComputeForcesOriginal runs the original Barnes-Hut algorithm: one
+// tree walk per particle, with the force accumulated on the host in
+// float64 during the walk. It is both the accuracy baseline and the
+// operation-count reference the paper uses to derive its effective
+// Gflops (its §5 "correction").
+func (tc *Treecode) ComputeForcesOriginal(s *nbody.System) (*Stats, error) {
+	o := tc.Opt.withDefaults()
+	stats := &Stats{N: s.N(), Groups: s.N(), MinList: -1}
+
+	t0 := time.Now()
+	tree, err := octree.Build(s, &octree.Options{LeafCap: o.LeafCap})
+	if err != nil {
+		return nil, err
+	}
+	tc.Tree = tree
+	stats.BuildTime = time.Since(t0)
+
+	mac := octree.OpenCriterion{Theta: o.Theta, UseBmax: o.UseBmax}
+	workers := o.Workers
+	n := s.N()
+	if workers > n {
+		workers = n
+	}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			var local Stats
+			local.MinList = -1
+			stack := make([]int32, 0, 256)
+			tw0 := time.Now()
+			for i := lo; i < hi; i++ {
+				count, visited := tc.walkParticle(tree, i, mac, o, &stack)
+				local.Interactions += int64(count)
+				local.ListSum += int64(count)
+				local.NodesVisited += visited
+				if count > local.MaxList {
+					local.MaxList = count
+				}
+				if local.MinList < 0 || count < local.MinList {
+					local.MinList = count
+				}
+			}
+			local.WalkTime = time.Since(tw0)
+			mu.Lock()
+			stats.Interactions += local.Interactions
+			stats.ListSum += local.ListSum
+			stats.NodesVisited += local.NodesVisited
+			stats.WalkTime += local.WalkTime
+			if local.MaxList > stats.MaxList {
+				stats.MaxList = local.MaxList
+			}
+			if local.MinList >= 0 && (stats.MinList < 0 || local.MinList < stats.MinList) {
+				stats.MinList = local.MinList
+			}
+			mu.Unlock()
+		}(lo, hi)
+	}
+	wg.Wait()
+	if stats.MinList < 0 {
+		stats.MinList = 0
+	}
+	return stats, nil
+}
+
+// walkParticle performs the classic per-particle Barnes-Hut walk,
+// accumulating the force into s.Acc[i]/s.Pot[i] in float64 and
+// returning the interaction count and nodes visited.
+func (tc *Treecode) walkParticle(tree *octree.Tree, i int, mac octree.OpenCriterion, o Options, stack *[]int32) (int, int64) {
+	s := tree.Sys
+	pi := s.Pos[i]
+	eps2 := o.Eps * o.Eps
+	var ax, ay, az, pot float64
+	count := 0
+	var visited int64
+	st := (*stack)[:0]
+	st = append(st, 0)
+	for len(st) > 0 {
+		idx := st[len(st)-1]
+		st = st[:len(st)-1]
+		n := &tree.Nodes[idx]
+		visited++
+		d2 := pi.Dist2(n.COM)
+		if mac.Accept(n, d2) {
+			fx, fy, fz, fp := pairForce(pi, n.COM, n.Mass, eps2)
+			ax += fx
+			ay += fy
+			az += fz
+			pot += fp
+			count++
+			continue
+		}
+		if n.Leaf {
+			for j := n.Start; j < n.Start+n.Count; j++ {
+				if int(j) == i {
+					continue
+				}
+				fx, fy, fz, fp := pairForce(pi, s.Pos[j], s.Mass[j], eps2)
+				ax += fx
+				ay += fy
+				az += fz
+				pot += fp
+				count++
+			}
+			continue
+		}
+		for _, c := range n.Children {
+			if c != octree.NoChild {
+				st = append(st, c)
+			}
+		}
+	}
+	*stack = st
+	s.Acc[i] = vec.V3{X: o.G * ax, Y: o.G * ay, Z: o.G * az}
+	s.Pot[i] = o.G * pot
+	return count, visited
+}
+
+// pairForce returns the unscaled (G=1) softened acceleration components
+// and potential exerted by mass m at pj on a test point at pi.
+func pairForce(pi, pj vec.V3, m, eps2 float64) (fx, fy, fz, pot float64) {
+	dx := pj.X - pi.X
+	dy := pj.Y - pi.Y
+	dz := pj.Z - pi.Z
+	r2 := dx*dx + dy*dy + dz*dz
+	if r2 == 0 {
+		return 0, 0, 0, 0
+	}
+	r2 += eps2
+	inv := 1 / math.Sqrt(r2)
+	inv3 := inv / r2
+	return m * inv3 * dx, m * inv3 * dy, m * inv3 * dz, -m * inv
+}
+
+// CountOriginal returns only the interaction count of the original
+// algorithm without computing forces — the cheap estimator the paper
+// used on five snapshots to derive its effective operation count.
+func (tc *Treecode) CountOriginal(s *nbody.System) (int64, error) {
+	o := tc.Opt.withDefaults()
+	tree, err := octree.Build(s, &octree.Options{LeafCap: o.LeafCap})
+	if err != nil {
+		return 0, err
+	}
+	tc.Tree = tree
+	mac := octree.OpenCriterion{Theta: o.Theta, UseBmax: o.UseBmax}
+	n := s.N()
+	workers := o.Workers
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	totals := make([]int64, workers)
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			stack := make([]int32, 0, 256)
+			var total int64
+			for i := lo; i < hi; i++ {
+				total += tc.countParticle(tree, i, mac, &stack)
+			}
+			totals[w] = total
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	var total int64
+	for _, t := range totals {
+		total += t
+	}
+	return total, nil
+}
+
+// countParticle is walkParticle without arithmetic.
+func (tc *Treecode) countParticle(tree *octree.Tree, i int, mac octree.OpenCriterion, stack *[]int32) int64 {
+	pi := tree.Sys.Pos[i]
+	var count int64
+	st := (*stack)[:0]
+	st = append(st, 0)
+	for len(st) > 0 {
+		idx := st[len(st)-1]
+		st = st[:len(st)-1]
+		n := &tree.Nodes[idx]
+		d2 := pi.Dist2(n.COM)
+		if mac.Accept(n, d2) {
+			count++
+			continue
+		}
+		if n.Leaf {
+			c := int64(n.Count)
+			if i >= int(n.Start) && i < int(n.Start+n.Count) {
+				c--
+			}
+			count += c
+			continue
+		}
+		for _, c := range n.Children {
+			if c != octree.NoChild {
+				st = append(st, c)
+			}
+		}
+	}
+	*stack = st
+	return count
+}
+
+// String summarises the stats in one line.
+func (s *Stats) String() string {
+	return fmt.Sprintf("N=%d groups=%d interactions=%d avgList=%.1f minList=%d maxList=%d nodes=%d build=%v walk=%v compute=%v",
+		s.N, s.Groups, s.Interactions, s.AvgList(), s.MinList, s.MaxList, s.NodesVisited,
+		s.BuildTime, s.WalkTime, s.ComputeTime)
+}

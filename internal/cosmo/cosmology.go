@@ -1,0 +1,130 @@
+// Package cosmo supplies the cosmological machinery behind the paper's
+// headline run: the Friedmann background, the linear growth factor,
+// the BBKS cold-dark-matter power spectrum, and a Zel'dovich-
+// approximation initial-condition generator — the stand-in for
+// Bertschinger's COSMICS package used in the paper (§5). It produces
+// the same class of initial data: a sphere of comoving radius R cut
+// from a Gaussian random realisation of a standard CDM density field,
+// with Hubble-flow plus peculiar velocities at the starting redshift.
+package cosmo
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/units"
+)
+
+// Cosmology is a Friedmann-Lemaître background in internal units
+// (lengths Mpc, velocities km/s).
+type Cosmology struct {
+	// OmegaM and OmegaL are the z=0 matter and cosmological-constant
+	// density parameters; curvature takes up the remainder.
+	OmegaM, OmegaL float64
+	// H is the dimensionless Hubble parameter h (H0 = 100 h km/s/Mpc).
+	H float64
+}
+
+// SCDM returns the paper's cosmology: standard CDM, Ω=1, h=0.5.
+func SCDM() Cosmology { return Cosmology{OmegaM: 1, OmegaL: 0, H: units.LittleH} }
+
+// H0 returns the Hubble constant in internal units ((km/s)/Mpc).
+func (c Cosmology) H0() float64 { return units.HubbleH0(c.H) }
+
+// Validate reports parameter errors.
+func (c Cosmology) Validate() error {
+	if c.OmegaM <= 0 || c.H <= 0 {
+		return fmt.Errorf("cosmo: OmegaM and h must be positive (got %v, %v)", c.OmegaM, c.H)
+	}
+	return nil
+}
+
+// Hubble returns H(a) in internal units.
+func (c Cosmology) Hubble(a float64) float64 {
+	omegaK := 1 - c.OmegaM - c.OmegaL
+	return c.H0() * math.Sqrt(c.OmegaM/(a*a*a)+omegaK/(a*a)+c.OmegaL)
+}
+
+// Age returns the cosmic time since the big bang at scale factor a, in
+// internal time units (Mpc/(km/s)): t(a) = ∫₀^a da'/(a'·H(a')).
+func (c Cosmology) Age(a float64) float64 {
+	if a <= 0 {
+		return 0
+	}
+	// For the Einstein-de Sitter case the closed form avoids the
+	// integrable singularity at a=0.
+	if c.OmegaL == 0 && math.Abs(c.OmegaM-1) < 1e-12 {
+		return 2.0 / 3.0 / c.H0() * math.Pow(a, 1.5)
+	}
+	// Numeric: substitute a' = a·u² to soften the a'→0 behaviour.
+	const steps = 4096
+	f := func(u float64) float64 {
+		ap := a * u * u
+		if ap == 0 {
+			return 0
+		}
+		// da' = 2 a u du  =>  integrand = 2 a u / (a' H(a'))
+		return 2 * a * u / (ap * c.Hubble(ap))
+	}
+	return simpson(f, 0, 1, steps)
+}
+
+// GrowthFactor returns the linear growth factor D(a), normalised to
+// D(1) = 1:
+//
+//	D(a) ∝ H(a) ∫₀^a da' / (a'·H(a'))³
+func (c Cosmology) GrowthFactor(a float64) float64 {
+	return c.growthUnnormalized(a) / c.growthUnnormalized(1)
+}
+
+func (c Cosmology) growthUnnormalized(a float64) float64 {
+	if a <= 0 {
+		return 0
+	}
+	if c.OmegaL == 0 && math.Abs(c.OmegaM-1) < 1e-12 {
+		return a // Einstein-de Sitter: D ∝ a
+	}
+	const steps = 4096
+	f := func(u float64) float64 {
+		ap := a * u * u
+		if ap == 0 {
+			return 0
+		}
+		h := c.Hubble(ap)
+		return 2 * a * u / math.Pow(ap*h, 3)
+	}
+	return c.Hubble(a) * simpson(f, 0, 1, steps)
+}
+
+// GrowthRate returns f(a) = dlnD/dlna, the velocity growth rate
+// (1 for Einstein-de Sitter).
+func (c Cosmology) GrowthRate(a float64) float64 {
+	if c.OmegaL == 0 && math.Abs(c.OmegaM-1) < 1e-12 {
+		return 1
+	}
+	const dl = 1e-4
+	lo := c.GrowthFactor(a * math.Exp(-dl))
+	hi := c.GrowthFactor(a * math.Exp(dl))
+	return (math.Log(hi) - math.Log(lo)) / (2 * dl)
+}
+
+// RhoMean returns the comoving mean matter density in internal units.
+func (c Cosmology) RhoMean() float64 { return units.RhoMean(c.OmegaM, c.H) }
+
+// simpson integrates f over [a, b] with n (even) panels.
+func simpson(f func(float64) float64, a, b float64, n int) float64 {
+	if n%2 == 1 {
+		n++
+	}
+	h := (b - a) / float64(n)
+	sum := f(a) + f(b)
+	for i := 1; i < n; i++ {
+		x := a + float64(i)*h
+		if i%2 == 1 {
+			sum += 4 * f(x)
+		} else {
+			sum += 2 * f(x)
+		}
+	}
+	return sum * h / 3
+}

@@ -1,0 +1,130 @@
+package cosmo
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestSCDMParameters(t *testing.T) {
+	c := SCDM()
+	if c.OmegaM != 1 || c.OmegaL != 0 || c.H != 0.5 {
+		t.Errorf("SCDM = %+v", c)
+	}
+	if c.H0() != 50 {
+		t.Errorf("H0 = %v", c.H0())
+	}
+	if err := c.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	if err := (Cosmology{OmegaM: 0, H: 0.5}).Validate(); err == nil {
+		t.Error("OmegaM=0 accepted")
+	}
+	if err := (Cosmology{OmegaM: 1, H: 0}).Validate(); err == nil {
+		t.Error("h=0 accepted")
+	}
+}
+
+func TestHubbleEdS(t *testing.T) {
+	c := SCDM()
+	// H(a) = H0 a^{-3/2} for EdS.
+	for _, a := range []float64{0.04, 0.25, 1} {
+		want := c.H0() * math.Pow(a, -1.5)
+		if got := c.Hubble(a); math.Abs(got-want)/want > 1e-12 {
+			t.Errorf("H(%v) = %v, want %v", a, got, want)
+		}
+	}
+}
+
+func TestAgeEdS(t *testing.T) {
+	c := SCDM()
+	// t0 = 2/(3 H0); in Gyr: 2/(3·50) Mpc/(km/s) = 13.04 Gyr.
+	t0 := c.Age(1)
+	gyr := t0 * units.TimeUnitGyr
+	if math.Abs(gyr-13.04) > 0.01 {
+		t.Errorf("EdS age = %v Gyr, want 13.04", gyr)
+	}
+	// t(a) ∝ a^{3/2}.
+	if got := c.Age(0.25) / t0; math.Abs(got-0.125) > 1e-12 {
+		t.Errorf("t(0.25)/t0 = %v, want 0.125", got)
+	}
+}
+
+func TestAgeNumericMatchesAnalytic(t *testing.T) {
+	// Use a not-quite-EdS cosmology to exercise the numeric branch,
+	// then compare to EdS by continuity (OmegaM→1).
+	eds := SCDM()
+	near := Cosmology{OmegaM: 1 - 1e-9, OmegaL: 0, H: 0.5}
+	for _, a := range []float64{0.04, 0.5, 1} {
+		g1, g2 := eds.Age(a), near.Age(a)
+		if math.Abs(g1-g2)/g1 > 1e-4 {
+			t.Errorf("numeric age at a=%v: %v vs analytic %v", a, g2, g1)
+		}
+	}
+}
+
+func TestGrowthFactorEdS(t *testing.T) {
+	c := SCDM()
+	// D(a) = a with D(1)=1.
+	for _, a := range []float64{0.04, 0.3, 1} {
+		if got := c.GrowthFactor(a); math.Abs(got-a) > 1e-12 {
+			t.Errorf("D(%v) = %v", a, got)
+		}
+	}
+	if got := c.GrowthRate(0.2); got != 1 {
+		t.Errorf("f = %v, want 1", got)
+	}
+}
+
+func TestGrowthFactorLCDM(t *testing.T) {
+	// For ΛCDM growth is suppressed at late times: D(a) > a·D(1)
+	// comparison — at a=0.5, D should exceed what pure matter scaling
+	// from a<<1 predicts... more simply: D is monotone and D(1)=1.
+	c := Cosmology{OmegaM: 0.3, OmegaL: 0.7, H: 0.7}
+	if got := c.GrowthFactor(1); math.Abs(got-1) > 1e-9 {
+		t.Errorf("D(1) = %v", got)
+	}
+	prev := 0.0
+	for _, a := range []float64{0.1, 0.3, 0.6, 1.0} {
+		d := c.GrowthFactor(a)
+		if d <= prev {
+			t.Errorf("D not increasing at a=%v: %v <= %v", a, d, prev)
+		}
+		prev = d
+	}
+	// In ΛCDM early growth tracks EdS: D(a)/a → const > 1 as a→0, and
+	// growth slows later, so D(0.1)/0.1 > D(1)/1.
+	if c.GrowthFactor(0.1)/0.1 <= 1 {
+		t.Errorf("early ΛCDM growth ratio = %v, want > 1", c.GrowthFactor(0.1)/0.1)
+	}
+	// Growth rate below 1 for open/Λ universes at z=0.
+	f := c.GrowthRate(1)
+	want := math.Pow(0.3, 0.55) // standard approximation
+	if math.Abs(f-want) > 0.03 {
+		t.Errorf("f(1) = %v, approximation says %v", f, want)
+	}
+}
+
+func TestRhoMean(t *testing.T) {
+	c := SCDM()
+	if got, want := c.RhoMean(), units.RhoMean(1, 0.5); got != want {
+		t.Errorf("RhoMean = %v, want %v", got, want)
+	}
+}
+
+func TestSimpson(t *testing.T) {
+	// ∫₀^π sin = 2.
+	got := simpson(math.Sin, 0, math.Pi, 100)
+	if math.Abs(got-2) > 1e-7 {
+		t.Errorf("simpson sin = %v", got)
+	}
+	// Odd n is rounded up.
+	got = simpson(func(x float64) float64 { return x }, 0, 1, 5)
+	if math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("simpson x = %v", got)
+	}
+}

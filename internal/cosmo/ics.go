@@ -1,0 +1,242 @@
+package cosmo
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/fft"
+	"repro/internal/nbody"
+	"repro/internal/rng"
+	"repro/internal/vec"
+)
+
+// ICParams configure the Zel'dovich initial-condition generator.
+type ICParams struct {
+	// Power is the normalised z=0 power spectrum.
+	Power *PowerSpectrum
+	// GridN is the Fourier grid size per dimension (power of two).
+	GridN int
+	// LatticeN is the particle lattice size per dimension; 0 means
+	// GridN. When it differs from GridN the displacement field is
+	// sampled by periodic trilinear interpolation, the standard way IC
+	// generators decouple particle count from Fourier resolution (the
+	// paper's N = 2,159,038 corresponds to a 160³ lattice, not a power
+	// of two).
+	LatticeN int
+	// BoxMpc is the comoving box side in Mpc. Particles are laid on the
+	// grid, displaced, and those inside the sphere are kept.
+	BoxMpc float64
+	// RadiusMpc is the comoving selection radius (paper: 50).
+	RadiusMpc float64
+	// ZInit is the starting redshift (paper: 24).
+	ZInit float64
+	// Seed selects the realisation.
+	Seed uint64
+}
+
+// Validate reports parameter errors.
+func (p ICParams) Validate() error {
+	switch {
+	case p.Power == nil:
+		return fmt.Errorf("cosmo: nil power spectrum")
+	case !fft.IsPow2(p.GridN):
+		return fmt.Errorf("cosmo: GridN %d is not a power of two", p.GridN)
+	case p.LatticeN < 0:
+		return fmt.Errorf("cosmo: LatticeN must be >= 0")
+	case p.BoxMpc <= 0:
+		return fmt.Errorf("cosmo: BoxMpc must be positive")
+	case p.RadiusMpc <= 0 || 2*p.RadiusMpc > p.BoxMpc:
+		return fmt.Errorf("cosmo: sphere of radius %v does not fit in box %v", p.RadiusMpc, p.BoxMpc)
+	case p.ZInit < 0:
+		return fmt.Errorf("cosmo: ZInit must be non-negative")
+	}
+	return nil
+}
+
+// Realization holds the generated initial conditions and their
+// metadata.
+type Realization struct {
+	// System holds the particles in PHYSICAL coordinates at z=ZInit:
+	// proper positions in Mpc and proper velocities (Hubble flow plus
+	// peculiar) in km/s — the isolated-sphere setup the paper
+	// integrates with plain Newtonian dynamics.
+	System *nbody.System
+	// AInit is the starting scale factor.
+	AInit float64
+	// ParticleMass is the per-particle mass in internal units.
+	ParticleMass float64
+	// GridSpacing is the comoving inter-particle spacing in Mpc.
+	GridSpacing float64
+	// RMSDisplacement is the comoving RMS Zel'dovich displacement in
+	// Mpc at ZInit (diagnostic: should be well below GridSpacing for a
+	// valid Zel'dovich start).
+	RMSDisplacement float64
+}
+
+// GenerateSphere realises a Gaussian CDM density field on the grid,
+// computes Zel'dovich displacements, lays particles on grid points,
+// keeps those whose unperturbed (Lagrangian) position lies inside the
+// sphere, and returns them in physical coordinates at z = ZInit.
+func GenerateSphere(p ICParams) (*Realization, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := p.GridN
+	l := p.BoxMpc
+	vol := l * l * l
+	cosmo := p.Power.Cosmo
+	aInit := 1 / (1 + p.ZInit)
+
+	// --- Fourier-space displacement field --------------------------------
+	// delta_k with <|delta_k|^2> = V P(k); psi_k = i k/k² delta_k.
+	// Grid convention: X[m] = (N³/V) * delta_k(m); see package fft for
+	// the inverse-transform normalisation.
+	psi := [3]*fft.Grid3{}
+	for c := 0; c < 3; c++ {
+		g, err := fft.NewGrid3(n)
+		if err != nil {
+			return nil, err
+		}
+		psi[c] = g
+	}
+	src := rng.New(p.Seed)
+	n3 := float64(n) * float64(n) * float64(n)
+	kf := 2 * math.Pi / l // fundamental mode
+	for ix := 0; ix < n; ix++ {
+		kx := float64(fft.FreqIndex(ix, n)) * kf
+		for iy := 0; iy < n; iy++ {
+			ky := float64(fft.FreqIndex(iy, n)) * kf
+			for iz := 0; iz < n; iz++ {
+				kz := float64(fft.FreqIndex(iz, n)) * kf
+				k2 := kx*kx + ky*ky + kz*kz
+				if k2 == 0 {
+					continue
+				}
+				k := math.Sqrt(k2)
+				// Draw the mode. Deterministic order: the (ix,iy,iz)
+				// loop fixes the stream layout for a given seed.
+				ga, gb := src.NormalPair()
+				amp := n3 * math.Sqrt(p.Power.P(k)/(2*vol))
+				deltaRe := amp * ga
+				deltaIm := amp * gb
+				// psi_k = i (k/k²) delta_k: multiply by i k_c / k².
+				for c, kc := range [3]float64{kx, ky, kz} {
+					f := kc / k2
+					// i*(re + i*im)*f = (-im + i*re)*f
+					psi[c].Set(ix, iy, iz, complex(-deltaIm*f, deltaRe*f))
+				}
+			}
+		}
+	}
+	d := cosmo.GrowthFactor(aInit)
+	for c := 0; c < 3; c++ {
+		psi[c].EnforceHermitian()
+		psi[c].Inverse()
+	}
+
+	// --- Particle selection and Zel'dovich mapping ------------------------
+	latN := p.LatticeN
+	if latN == 0 {
+		latN = n
+	}
+	spacing := l / float64(latN)
+	r2max := p.RadiusMpc * p.RadiusMpc
+	center := l / 2
+	mass := cosmo.RhoMean() * spacing * spacing * spacing
+	h := cosmo.Hubble(aInit)
+	f := cosmo.GrowthRate(aInit)
+	gridSpacing := l / float64(n)
+
+	var pos, vel []vec.V3
+	var sumPsi2 float64
+	var count int
+	for ix := 0; ix < latN; ix++ {
+		qx := (float64(ix) + 0.5) * spacing
+		for iy := 0; iy < latN; iy++ {
+			qy := (float64(iy) + 0.5) * spacing
+			for iz := 0; iz < latN; iz++ {
+				qz := (float64(iz) + 0.5) * spacing
+				dx0, dy0, dz0 := qx-center, qy-center, qz-center
+				if dx0*dx0+dy0*dy0+dz0*dz0 > r2max {
+					continue
+				}
+				px := interp3(psi[0], qx/gridSpacing, qy/gridSpacing, qz/gridSpacing)
+				py := interp3(psi[1], qx/gridSpacing, qy/gridSpacing, qz/gridSpacing)
+				pz := interp3(psi[2], qx/gridSpacing, qy/gridSpacing, qz/gridSpacing)
+				sumPsi2 += d * d * (px*px + py*py + pz*pz)
+				count++
+				// Comoving Zel'dovich position relative to the sphere
+				// centre.
+				cx := dx0 + d*px
+				cy := dy0 + d*py
+				cz := dz0 + d*pz
+				// Physical position and velocity: r = a·x,
+				// v = H·r + a·H·f·D·psi (peculiar).
+				pp := vec.V3{X: aInit * cx, Y: aInit * cy, Z: aInit * cz}
+				pecf := aInit * h * f * d
+				vv := vec.V3{
+					X: h*pp.X + pecf*px,
+					Y: h*pp.Y + pecf*py,
+					Z: h*pp.Z + pecf*pz,
+				}
+				pos = append(pos, pp)
+				vel = append(vel, vv)
+			}
+		}
+	}
+	if count == 0 {
+		return nil, fmt.Errorf("cosmo: no particles inside selection sphere")
+	}
+
+	sys := nbody.New(count)
+	copy(sys.Pos, pos)
+	copy(sys.Vel, vel)
+	for i := range sys.Mass {
+		sys.Mass[i] = mass
+	}
+	return &Realization{
+		System:          sys,
+		AInit:           aInit,
+		ParticleMass:    mass,
+		GridSpacing:     spacing,
+		RMSDisplacement: math.Sqrt(sumPsi2 / float64(count)),
+	}, nil
+}
+
+// interp3 samples the real part of grid g at fractional grid
+// coordinates (x, y, z) by periodic trilinear interpolation. Grid node
+// j holds the field value at coordinate j; the box is periodic with
+// period g.N.
+func interp3(g *fft.Grid3, x, y, z float64) float64 {
+	n := g.N
+	fx, fy, fz := math.Floor(x), math.Floor(y), math.Floor(z)
+	tx, ty, tz := x-fx, y-fy, z-fz
+	ix, iy, iz := wrap(int(fx), n), wrap(int(fy), n), wrap(int(fz), n)
+	jx, jy, jz := (ix+1)%n, (iy+1)%n, (iz+1)%n
+
+	c000 := real(g.At(ix, iy, iz))
+	c100 := real(g.At(jx, iy, iz))
+	c010 := real(g.At(ix, jy, iz))
+	c110 := real(g.At(jx, jy, iz))
+	c001 := real(g.At(ix, iy, jz))
+	c101 := real(g.At(jx, iy, jz))
+	c011 := real(g.At(ix, jy, jz))
+	c111 := real(g.At(jx, jy, jz))
+
+	c00 := c000*(1-tx) + c100*tx
+	c10 := c010*(1-tx) + c110*tx
+	c01 := c001*(1-tx) + c101*tx
+	c11 := c011*(1-tx) + c111*tx
+	c0 := c00*(1-ty) + c10*ty
+	c1 := c01*(1-ty) + c11*ty
+	return c0*(1-tz) + c1*tz
+}
+
+// wrap maps i into [0, n) with periodic boundary.
+func wrap(i, n int) int {
+	i %= n
+	if i < 0 {
+		i += n
+	}
+	return i
+}

@@ -1,0 +1,301 @@
+package cosmo
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/fft"
+	"repro/internal/units"
+	"repro/internal/vec"
+)
+
+func testParams(t *testing.T, gridN int, seed uint64) ICParams {
+	t.Helper()
+	p, err := NewPowerSpectrum(SCDM(), 1, 0.67)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ICParams{
+		Power:     p,
+		GridN:     gridN,
+		BoxMpc:    100,
+		RadiusMpc: 50,
+		ZInit:     24,
+		Seed:      seed,
+	}
+}
+
+func TestICParamsValidate(t *testing.T) {
+	p := testParams(t, 16, 1)
+	if err := p.Validate(); err != nil {
+		t.Error(err)
+	}
+	bad := p
+	bad.GridN = 12
+	if err := bad.Validate(); err == nil {
+		t.Error("non-pow2 grid accepted")
+	}
+	bad = p
+	bad.RadiusMpc = 60
+	if err := bad.Validate(); err == nil {
+		t.Error("sphere larger than box accepted")
+	}
+	bad = p
+	bad.Power = nil
+	if err := bad.Validate(); err == nil {
+		t.Error("nil power accepted")
+	}
+	bad = p
+	bad.ZInit = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative z accepted")
+	}
+	// z=0 is a valid epoch for Zel'dovich-evolved statistics snapshots.
+	zeroZ := p
+	zeroZ.ZInit = 0
+	if err := zeroZ.Validate(); err != nil {
+		t.Errorf("z=0 rejected: %v", err)
+	}
+}
+
+func TestGenerateSphereBasics(t *testing.T) {
+	r, err := GenerateSphere(testParams(t, 16, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := r.System
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Sphere selection keeps ~π/6 of the grid (52%).
+	frac := float64(s.N()) / (16 * 16 * 16)
+	if math.Abs(frac-math.Pi/6) > 0.05 {
+		t.Errorf("selected fraction = %v, want ~%v", frac, math.Pi/6)
+	}
+	// a_init.
+	if math.Abs(r.AInit-0.04) > 1e-12 {
+		t.Errorf("AInit = %v", r.AInit)
+	}
+	// All particles within (slightly displaced) physical sphere.
+	maxR := 0.0
+	for _, p := range s.Pos {
+		if rr := p.Norm(); rr > maxR {
+			maxR = rr
+		}
+	}
+	// Physical radius = a * (50 + displacement slack).
+	if maxR > 0.04*(50+5) {
+		t.Errorf("max physical radius = %v", maxR)
+	}
+	// Displacements must be small compared to grid spacing at z=24.
+	if r.RMSDisplacement > r.GridSpacing {
+		t.Errorf("RMS displacement %v exceeds grid spacing %v — Zel'dovich invalid",
+			r.RMSDisplacement, r.GridSpacing)
+	}
+	if r.RMSDisplacement == 0 {
+		t.Error("zero displacement — field not applied")
+	}
+}
+
+// TestParticleMassMatchesPaper is the E8 cross-check through the IC
+// pipeline: the generated particle mass must approach the paper's
+// 1.7e10 Msun for the 50 Mpc sphere, once the sphere holds ~2.1e6
+// particles. At small grids the mass per particle is the same number
+// scaled by (N_paper/N)·(counts), i.e. grid-independent by
+// construction: rho_mean · spacing³.
+func TestParticleMassMatchesPaper(t *testing.T) {
+	r, err := GenerateSphere(testParams(t, 16, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// rho_mean(SCDM) * (100/16)³ in 1e10 Msun.
+	want := units.RhoMean(1, 0.5) * math.Pow(100.0/16, 3)
+	if math.Abs(r.ParticleMass-want)/want > 1e-12 {
+		t.Errorf("particle mass = %v, want %v", r.ParticleMass, want)
+	}
+	// Scale to the paper: a grid with spacing such that the sphere
+	// holds PaperN particles gives the paper's particle mass; verified
+	// in units_test. Here check consistency: total sphere mass equals
+	// N * m ≈ rho_mean * V_sphere within the grid-sampling error of the
+	// sphere volume.
+	total := r.ParticleMass * float64(r.System.N())
+	wantTotal := units.SphereMass(1, 0.5, 50)
+	if math.Abs(total-wantTotal)/wantTotal > 0.05 {
+		t.Errorf("sphere mass = %v, want ~%v", total, wantTotal)
+	}
+}
+
+func TestVelocitiesAreHubbleDominated(t *testing.T) {
+	r, err := GenerateSphere(testParams(t, 16, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := r.System
+	h := SCDM().Hubble(r.AInit)
+	var pecSum, hubSum float64
+	for i := range s.Pos {
+		hub := s.Pos[i].Scale(h)
+		pec := s.Vel[i].Sub(hub)
+		pecSum += pec.Norm2()
+		hubSum += hub.Norm2()
+	}
+	pecRMS := math.Sqrt(pecSum / float64(s.N()))
+	hubRMS := math.Sqrt(hubSum / float64(s.N()))
+	if pecRMS >= hubRMS {
+		t.Errorf("peculiar RMS %v should be far below Hubble RMS %v at z=24", pecRMS, hubRMS)
+	}
+	if pecRMS == 0 {
+		t.Error("no peculiar velocities")
+	}
+	// EdS relation: v_pec = a·H·f·D·psi with f=1 ⇒
+	// pecRMS = a·H·D·psiRMS = a·H·RMSDisplacement (D folded in already).
+	want := r.AInit * h * r.RMSDisplacement
+	if math.Abs(pecRMS-want)/want > 1e-9 {
+		t.Errorf("pec RMS = %v, Zel'dovich relation gives %v", pecRMS, want)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	r1, err := GenerateSphere(testParams(t, 8, 99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := GenerateSphere(testParams(t, 8, 99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.System.N() != r2.System.N() {
+		t.Fatal("different N for same seed")
+	}
+	for i := range r1.System.Pos {
+		if r1.System.Pos[i] != r2.System.Pos[i] || r1.System.Vel[i] != r2.System.Vel[i] {
+			t.Fatal("same seed produced different realisation")
+		}
+	}
+	r3, err := GenerateSphere(testParams(t, 8, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range r1.System.Pos {
+		if i < r3.System.N() && r1.System.Pos[i] != r3.System.Pos[i] {
+			same = false
+			break
+		}
+	}
+	if same && r1.System.N() == r3.System.N() {
+		t.Error("different seeds produced identical realisations")
+	}
+}
+
+func TestDisplacementFieldHasZeroMean(t *testing.T) {
+	r, err := GenerateSphere(testParams(t, 16, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean peculiar velocity over the sphere should be near zero (the
+	// k=0 mode is excluded). Tolerance: RMS/sqrt(N) sampling noise with
+	// large-scale correlations — be generous.
+	s := r.System
+	h := SCDM().Hubble(r.AInit)
+	var mean vec.V3
+	var rms float64
+	for i := range s.Pos {
+		pec := s.Vel[i].Sub(s.Pos[i].Scale(h))
+		mean = mean.Add(pec)
+		rms += pec.Norm2()
+	}
+	mean = mean.Scale(1 / float64(s.N()))
+	rmsv := math.Sqrt(rms / float64(s.N()))
+	if mean.Norm() > rmsv {
+		t.Errorf("mean peculiar velocity %v not small vs RMS %v", mean.Norm(), rmsv)
+	}
+}
+
+func TestGenerateSphereGridScaling(t *testing.T) {
+	// Doubling the grid quadruples... octuples the particle count and
+	// divides the particle mass by 8.
+	r8, err := GenerateSphere(testParams(t, 8, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r16, err := GenerateSphere(testParams(t, 16, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(r16.System.N()) / float64(r8.System.N())
+	if ratio < 6 || ratio > 10 {
+		t.Errorf("N ratio = %v, want ~8", ratio)
+	}
+	if m := r8.ParticleMass / r16.ParticleMass; math.Abs(m-8) > 1e-9 {
+		t.Errorf("mass ratio = %v, want 8", m)
+	}
+}
+
+func TestInterp3ExactAtNodes(t *testing.T) {
+	// Build a small grid with known values and check node sampling.
+	g, err := fft.NewGrid3(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Set(2, 3, 4, complex(7.5, 0))
+	if got := interp3(g, 2, 3, 4); got != 7.5 {
+		t.Errorf("node sample = %v, want 7.5", got)
+	}
+	// Midpoint between two nodes along z.
+	g.Set(2, 3, 5, complex(9.5, 0))
+	if got := interp3(g, 2, 3, 4.5); math.Abs(got-8.5) > 1e-12 {
+		t.Errorf("midpoint = %v, want 8.5", got)
+	}
+	// Periodic wrap: sampling just past the last node blends with node 0.
+	g.Set(2, 3, 7, complex(1, 0))
+	g.Set(2, 3, 0, complex(3, 0))
+	if got := interp3(g, 2, 3, 7.5); math.Abs(got-2) > 1e-12 {
+		t.Errorf("wrap = %v, want 2", got)
+	}
+}
+
+func TestWrap(t *testing.T) {
+	cases := []struct{ i, n, want int }{
+		{0, 8, 0}, {7, 8, 7}, {8, 8, 0}, {-1, 8, 7}, {-9, 8, 7}, {17, 8, 1},
+	}
+	for _, c := range cases {
+		if got := wrap(c.i, c.n); got != c.want {
+			t.Errorf("wrap(%d,%d) = %d, want %d", c.i, c.n, got, c.want)
+		}
+	}
+}
+
+func TestLatticeDecoupling(t *testing.T) {
+	// A non-power-of-two lattice over a power-of-two Fourier grid must
+	// produce the right particle count and mass.
+	p := testParams(t, 16, 33)
+	p.LatticeN = 20
+	r, err := GenerateSphere(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := float64(r.System.N()) / (20 * 20 * 20)
+	if math.Abs(frac-math.Pi/6) > 0.05 {
+		t.Errorf("selected fraction = %v, want ~%v", frac, math.Pi/6)
+	}
+	want := units.RhoMean(1, 0.5) * math.Pow(100.0/20, 3)
+	if math.Abs(r.ParticleMass-want)/want > 1e-12 {
+		t.Errorf("particle mass = %v, want %v", r.ParticleMass, want)
+	}
+	// Displacements still reasonable.
+	if r.RMSDisplacement <= 0 || r.RMSDisplacement > r.GridSpacing*2 {
+		t.Errorf("RMS displacement = %v vs spacing %v", r.RMSDisplacement, r.GridSpacing)
+	}
+	if err := r.System.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLatticeNValidation(t *testing.T) {
+	p := testParams(t, 8, 1)
+	p.LatticeN = -1
+	if err := p.Validate(); err == nil {
+		t.Error("negative LatticeN accepted")
+	}
+}

@@ -1,0 +1,172 @@
+package g5
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/nbody"
+	"repro/internal/rng"
+	"repro/internal/vec"
+)
+
+func openTestDriver(t *testing.T) *Driver {
+	t.Helper()
+	d, err := Open(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SetRange(-100, 100); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestDriverLifecycle(t *testing.T) {
+	d := openTestDriver(t)
+	if d.NumberOfPipelines() != 96 {
+		t.Errorf("pipelines = %d", d.NumberOfPipelines())
+	}
+	if d.JMemorySize() != 2*131072 {
+		t.Errorf("jmem = %d", d.JMemorySize())
+	}
+	d.Close()
+	if err := d.SetRange(-1, 1); err == nil {
+		t.Error("closed driver accepted SetRange")
+	}
+	if err := d.SetEpsToAll(0.1); err == nil {
+		t.Error("closed driver accepted SetEps")
+	}
+	if err := d.SetXMJ(0, []vec.V3{{}}, []float64{1}); err == nil {
+		t.Error("closed driver accepted SetXMJ")
+	}
+	if err := d.CalculateForceOnX([]vec.V3{{}}, make([]vec.V3, 1), make([]float64, 1)); err == nil {
+		t.Error("closed driver accepted Calculate")
+	}
+}
+
+func TestDriverDirectSumMatchesReference(t *testing.T) {
+	// The classic GRAPE use: load all particles once, compute all
+	// forces in pipeline-sized i-batches. Must agree with float64
+	// direct summation to pipeline precision.
+	const n = 300
+	s := nbody.Plummer(n, 1, 1, 1, rng.New(41))
+	ref := s.Clone()
+	nbody.DirectForces(ref, 1, 0.05)
+
+	d := openTestDriver(t)
+	if err := d.SetEpsToAll(0.05); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SetXMJ(0, s.Pos, s.Mass); err != nil {
+		t.Fatal(err)
+	}
+	np := d.NumberOfPipelines()
+	for lo := 0; lo < n; lo += np {
+		hi := lo + np
+		if hi > n {
+			hi = n
+		}
+		if err := d.CalculateForceOnX(s.Pos[lo:hi], s.Acc[lo:hi], s.Pot[lo:hi]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var sum2 float64
+	for i := range s.Acc {
+		rel := s.Acc[i].Sub(ref.Acc[i]).Norm() / ref.Acc[i].Norm()
+		sum2 += rel * rel
+	}
+	rms := math.Sqrt(sum2 / n)
+	if rms > 0.006 {
+		t.Errorf("driver direct-sum RMS error = %.4f%%, want < 0.6%%", rms*100)
+	}
+}
+
+func TestDriverJMemoryOverflow(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.JMemPerBoard = 10 // 20 total
+	d, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SetRange(-1, 1); err != nil {
+		t.Fatal(err)
+	}
+	x := make([]vec.V3, 21)
+	m := make([]float64, 21)
+	if err := d.SetXMJ(0, x, m); err == nil {
+		t.Error("overflow write accepted")
+	}
+	if err := d.SetXMJ(-1, x[:1], m[:1]); err == nil {
+		t.Error("negative address accepted")
+	}
+	if err := d.SetXMJ(0, x[:20], m[:20]); err != nil {
+		t.Errorf("exact-fit write rejected: %v", err)
+	}
+	if d.NJ() != 20 {
+		t.Errorf("NJ = %d", d.NJ())
+	}
+}
+
+func TestDriverPartialUpdate(t *testing.T) {
+	// Overwriting a sub-range of the j-memory must only affect those
+	// particles (the real library updates moving particles in place).
+	d := openTestDriver(t)
+	d.SetEpsToAll(0)
+	if err := d.SetXMJ(0, []vec.V3{{X: 1}, {X: 2}}, []float64{1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Move the second source from x=2 to x=-2.
+	if err := d.SetXMJ(1, []vec.V3{{X: -2}}, []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	acc := make([]vec.V3, 1)
+	pot := make([]float64, 1)
+	if err := d.CalculateForceOnX([]vec.V3{{X: 0}}, acc, pot); err != nil {
+		t.Fatal(err)
+	}
+	// Sources at +1 and -2: a = 1/1 - 1/4 = 0.75 toward +x.
+	if math.Abs(acc[0].X-0.75) > 0.01 {
+		t.Errorf("acc after partial update = %v, want ~0.75", acc[0].X)
+	}
+}
+
+func TestDriverChargesJOnce(t *testing.T) {
+	d := openTestDriver(t)
+	d.SetEpsToAll(0.01)
+	x := make([]vec.V3, 1000)
+	m := make([]float64, 1000)
+	r := rng.New(6)
+	for i := range x {
+		x[i] = vec.V3{X: r.Uniform(-50, 50), Y: r.Uniform(-50, 50), Z: r.Uniform(-50, 50)}
+		m[i] = 1
+	}
+	if err := d.SetXMJ(0, x, m); err != nil {
+		t.Fatal(err)
+	}
+	afterLoad := d.System().Counters().BytesTransferred
+	wantJ := int64(1000 * DefaultConfig().BytesPerJ)
+	if afterLoad != wantJ {
+		t.Errorf("load bytes = %d, want %d", afterLoad, wantJ)
+	}
+	// Two force calls: j bytes must NOT grow, only i/force traffic.
+	for k := 0; k < 2; k++ {
+		acc := make([]vec.V3, 10)
+		pot := make([]float64, 10)
+		if err := d.CalculateForceOnX(x[:10], acc, pot); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := d.System().Counters()
+	perCall := int64(10*DefaultConfig().BytesPerI + 10*DefaultConfig().BytesPerForce*2)
+	if got := c.BytesTransferred - afterLoad; got != 2*perCall {
+		t.Errorf("force-call bytes = %d, want %d", got, 2*perCall)
+	}
+}
+
+func TestDriverNoJLoaded(t *testing.T) {
+	d := openTestDriver(t)
+	err := d.CalculateForceOnX([]vec.V3{{}}, make([]vec.V3, 1), make([]float64, 1))
+	if err == nil {
+		t.Error("compute without loaded j-set accepted")
+	}
+}

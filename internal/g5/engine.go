@@ -1,0 +1,74 @@
+package g5
+
+import (
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/vec"
+)
+
+// Engine adapts a System to the treecode's core.Engine interface. It
+// serialises access (one physical device on one bus) and applies the
+// gravitational constant on readback, matching the real GRAPE host
+// library where the hardware computes in G=1 units.
+type Engine struct {
+	// G is the gravitational constant applied to hardware results.
+	G float64
+
+	mu   sync.Mutex
+	sys  *System
+	pool sync.Pool // *scratch staging buffers
+}
+
+type scratch struct {
+	acc []vec.V3
+	pot []float64
+}
+
+var _ core.Engine = (*Engine)(nil)
+
+// NewEngine wraps sys. G=0 is replaced by 1.
+func NewEngine(sys *System, g float64) *Engine {
+	if g == 0 {
+		g = 1
+	}
+	e := &Engine{G: g, sys: sys}
+	e.pool.New = func() any { return new(scratch) }
+	return e
+}
+
+// System returns the wrapped hardware (for counter access). Callers
+// must not run Compute on it directly while the engine is in use.
+func (e *Engine) System() *System { return e.sys }
+
+// Accumulate implements core.Engine by dispatching the request to the
+// hardware. Hardware errors panic: by the time requests are flowing the
+// host code has already validated scale and ranges, so an error here is
+// a programming bug, like a wedged device driver.
+func (e *Engine) Accumulate(req *core.Request) {
+	ni := len(req.IPos)
+	sc := e.pool.Get().(*scratch)
+	if cap(sc.acc) < ni {
+		sc.acc = make([]vec.V3, ni)
+		sc.pot = make([]float64, ni)
+	}
+	acc := sc.acc[:ni]
+	pot := sc.pot[:ni]
+	for i := range acc {
+		acc[i] = vec.Zero
+		pot[i] = 0
+	}
+
+	e.mu.Lock()
+	err := e.sys.Compute(req.IPos, req.JPos, req.JMass, acc, pot)
+	e.mu.Unlock()
+	if err != nil {
+		panic("g5: hardware compute failed: " + err.Error())
+	}
+
+	for i := range acc {
+		req.Acc[i] = req.Acc[i].MulAdd(e.G, acc[i])
+		req.Pot[i] += e.G * pot[i]
+	}
+	e.pool.Put(sc)
+}

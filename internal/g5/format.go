@@ -1,0 +1,62 @@
+package g5
+
+import "math"
+
+// RoundMantissa rounds v to the nearest float with the given number of
+// explicit mantissa bits (round-half-away-from-zero in magnitude).
+// It models the relative-error behaviour of the G5 chip's logarithmic
+// number format: quantising log2(v) with step 2^-b and rounding a
+// mantissa to b bits both produce a uniform relative error of half a
+// unit in the b-th fractional place.
+//
+// bits >= 52 returns v unchanged. Zero, infinities and NaN pass
+// through. Values within half an ulp of ±MaxFloat64 round to infinity
+// and subnormals lose the relative-error guarantee; both are far
+// outside the dynamic range of any simulation quantity (the hardware's
+// log format spans a comparable range).
+func RoundMantissa(v float64, bits uint) float64 {
+	if bits >= 52 || v == 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+		return v
+	}
+	b := math.Float64bits(v)
+	shift := 52 - bits
+	round := uint64(1) << (shift - 1)
+	mantAndExp := b &^ (1 << 63)
+	sign := b & (1 << 63)
+	mantAndExp += round // may carry into the exponent: correct rounding across powers of two
+	mantAndExp &^= (uint64(1) << shift) - 1
+	return math.Float64frombits(sign | mantAndExp)
+}
+
+// FixedGrid quantises coordinates to a uniform grid of 2^bits steps
+// over [Min, Max), the emulator's model of the pipeline's fixed-point
+// position format.
+type FixedGrid struct {
+	Min, Max float64
+	step     float64
+	maxIdx   float64
+}
+
+// NewFixedGrid constructs the grid. Max must exceed Min.
+func NewFixedGrid(min, max float64, bits uint) FixedGrid {
+	n := math.Exp2(float64(bits))
+	return FixedGrid{Min: min, Max: max, step: (max - min) / n, maxIdx: n - 1}
+}
+
+// Quantize returns the grid value nearest to x, clamped to the range,
+// and whether x was inside the representable range.
+func (g FixedGrid) Quantize(x float64) (float64, bool) {
+	idx := math.Round((x - g.Min) / g.step)
+	ok := true
+	if idx < 0 {
+		idx = 0
+		ok = false
+	} else if idx > g.maxIdx {
+		idx = g.maxIdx
+		ok = false
+	}
+	return g.Min + idx*g.step, ok
+}
+
+// Step returns the grid spacing.
+func (g FixedGrid) Step() float64 { return g.step }

@@ -1,0 +1,242 @@
+package g5
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/vec"
+)
+
+// Counters accumulate the hardware activity of a System. All times are
+// simulated hardware seconds, not host wall-clock.
+type Counters struct {
+	// Interactions is the number of pairwise interactions streamed
+	// through the pipelines (including padding-free accounting: only
+	// real i×j pairs are counted).
+	Interactions int64
+	// PipeSeconds is the simulated time the pipelines were busy.
+	PipeSeconds float64
+	// BusSeconds is the simulated host-interface transfer time.
+	BusSeconds float64
+	// BytesTransferred is the total traffic over the host interface.
+	BytesTransferred int64
+	// Runs is the number of Compute calls (hardware activations).
+	Runs int64
+	// JPasses counts j-memory loads (greater than Runs when a j-set
+	// exceeds the particle memory and must be processed in passes).
+	JPasses int64
+	// RangeClamps counts positions that fell outside the SetScale range
+	// and were clamped.
+	RangeClamps int64
+}
+
+// HWSeconds returns the total simulated hardware time.
+func (c Counters) HWSeconds() float64 { return c.PipeSeconds + c.BusSeconds }
+
+// Flops returns the accumulated operation count under the
+// ops-per-interaction convention.
+func (c Counters) flops(opsPerInteraction int) float64 {
+	return float64(c.Interactions) * float64(opsPerInteraction)
+}
+
+// System is an emulated GRAPE-5 installation. It is NOT safe for
+// concurrent use — it models one physical device on one bus; wrap it in
+// an Engine for concurrent callers.
+type System struct {
+	cfg Config
+
+	// scale state (g5_set_range in the real library)
+	haveScale bool
+	grid      FixedGrid
+	eps2      float64
+
+	cnt Counters
+}
+
+// NewSystem builds an emulated system. The configuration is validated.
+func NewSystem(cfg Config) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &System{cfg: cfg}, nil
+}
+
+// Config returns the system's configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// Counters returns a snapshot of the activity counters.
+func (s *System) Counters() Counters { return s.cnt }
+
+// ResetCounters zeroes the activity counters.
+func (s *System) ResetCounters() { s.cnt = Counters{} }
+
+// SetScale defines the coordinate range mapped onto the pipeline's
+// fixed-point format, like g5_set_range. All positions of subsequent
+// Compute calls must lie inside [min, max) in every coordinate (or are
+// clamped, see Config.StrictRange).
+func (s *System) SetScale(min, max float64) error {
+	if !(max > min) || math.IsNaN(min) || math.IsInf(max-min, 0) {
+		return fmt.Errorf("g5: invalid scale range [%v, %v)", min, max)
+	}
+	s.grid = NewFixedGrid(min, max, s.cfg.PosBits)
+	s.haveScale = true
+	return nil
+}
+
+// SetEps sets the Plummer softening length used by the pipelines
+// (GRAPE-5 applies one global softening per run).
+func (s *System) SetEps(eps float64) {
+	s.eps2 = eps * eps
+}
+
+// Compute runs the hardware on one batch: the accelerations and
+// potentials (G=1 units) exerted by sources (jpos, jmass) on field
+// points ipos are ADDED into acc and pot. It models the full offload:
+// j upload (chunked by particle-memory capacity), i upload, pipeline
+// passes, force readback — charging simulated time to the counters —
+// and evaluates the forces with the pipeline's reduced precision.
+func (s *System) Compute(ipos, jpos []vec.V3, jmass []float64, acc []vec.V3, pot []float64) error {
+	return s.compute(ipos, jpos, jmass, acc, pot, true)
+}
+
+// compute is Compute with control over j-upload accounting: the Driver
+// charges the j transfer once at load time (persistent particle
+// memory), not per force call.
+func (s *System) compute(ipos, jpos []vec.V3, jmass []float64, acc []vec.V3, pot []float64, chargeJ bool) error {
+	if !s.haveScale {
+		return fmt.Errorf("g5: Compute before SetScale")
+	}
+	if len(jpos) != len(jmass) {
+		return fmt.Errorf("g5: jpos/jmass length mismatch: %d vs %d", len(jpos), len(jmass))
+	}
+	if len(acc) != len(ipos) || len(pot) != len(ipos) {
+		return fmt.Errorf("g5: output length mismatch")
+	}
+	ni, nj := len(ipos), len(jpos)
+	if ni == 0 || nj == 0 {
+		return nil
+	}
+
+	// --- Functional model -------------------------------------------
+	iq, err := s.quantizePositions(ipos)
+	if err != nil {
+		return err
+	}
+	jq, err := s.quantizePositions(jpos)
+	if err != nil {
+		return err
+	}
+	mq := make([]float64, nj)
+	for j, m := range jmass {
+		mq[j] = RoundMantissa(m, s.cfg.MassBits)
+	}
+	pb := s.cfg.PipeBits
+	r2b := s.cfg.R2Bits
+	for i := range iq {
+		pi := iq[i]
+		var ax, ay, az, pp float64
+		for j := range jq {
+			dx := jq[j].X - pi.X
+			dy := jq[j].Y - pi.Y
+			dz := jq[j].Z - pi.Z
+			r2 := dx*dx + dy*dy + dz*dz
+			if r2 == 0 {
+				continue // hardware emits zero for coincident points
+			}
+			r2 = RoundMantissa(r2+s.eps2, r2b)
+			inv := 1 / math.Sqrt(r2)
+			m := mq[j]
+			fpot := RoundMantissa(m*inv, pb)
+			ff := RoundMantissa(m*inv/r2, pb)
+			ax += RoundMantissa(ff*dx, pb)
+			ay += RoundMantissa(ff*dy, pb)
+			az += RoundMantissa(ff*dz, pb)
+			pp -= fpot
+		}
+		acc[i] = acc[i].Add(vec.V3{X: ax, Y: ay, Z: az})
+		pot[i] += pp
+	}
+
+	// --- Timing model ------------------------------------------------
+	s.chargeOpt(ni, nj, chargeJ)
+	return nil
+}
+
+// quantizePositions maps positions through the fixed-point grid.
+func (s *System) quantizePositions(pos []vec.V3) ([]vec.V3, error) {
+	out := make([]vec.V3, len(pos))
+	for i, p := range pos {
+		qx, okx := s.grid.Quantize(p.X)
+		qy, oky := s.grid.Quantize(p.Y)
+		qz, okz := s.grid.Quantize(p.Z)
+		if !okx || !oky || !okz {
+			if s.cfg.StrictRange {
+				return nil, fmt.Errorf("g5: position %v outside scale range [%v, %v)",
+					p, s.grid.Min, s.grid.Max)
+			}
+			s.cnt.RangeClamps++
+		}
+		out[i] = vec.V3{X: qx, Y: qy, Z: qz}
+	}
+	return out, nil
+}
+
+// ChargeOnly accounts the simulated hardware cost of a Compute call
+// with ni field points and nj sources WITHOUT evaluating any forces.
+// The performance harness uses it to replay a traversal schedule
+// through the timing model at full problem scale, where evaluating the
+// arithmetic in emulation would be pointless work.
+func (s *System) ChargeOnly(ni, nj int) {
+	if ni <= 0 || nj <= 0 {
+		return
+	}
+	s.charge(ni, nj)
+}
+
+// charge adds the simulated cost of one Compute(ni, nj) call to the
+// counters.
+func (s *System) charge(ni, nj int) { s.chargeOpt(ni, nj, true) }
+
+// chargeJBytes accounts a standalone j-particle upload (Driver.SetXMJ).
+func (s *System) chargeJBytes(nj int) {
+	bytes := int64(nj) * int64(s.cfg.BytesPerJ)
+	s.cnt.BytesTransferred += bytes
+	s.cnt.BusSeconds += float64(bytes) / s.cfg.BusBandwidth
+}
+
+func (s *System) chargeOpt(ni, nj int, chargeJ bool) {
+	c := &s.cnt
+	c.Runs++
+	c.Interactions += int64(ni) * int64(nj)
+
+	vp := s.cfg.VirtualPipesPerBoard()
+	boards := s.cfg.Boards
+	jmem := s.cfg.JMemPerBoard * boards
+
+	// j is processed in passes of at most the total particle memory.
+	passes := (nj + jmem - 1) / jmem
+	c.JPasses += int64(passes)
+	var pipeSec float64
+	remaining := nj
+	for p := 0; p < passes; p++ {
+		chunk := remaining
+		if chunk > jmem {
+			chunk = jmem
+		}
+		remaining -= chunk
+		// Each board streams its share of the chunk once per i-group
+		// of vp particles, at the board clock.
+		perBoard := (chunk + boards - 1) / boards
+		iGroups := (ni + vp - 1) / vp
+		pipeSec += float64(iGroups) * float64(perBoard) / s.cfg.BoardClockHz
+	}
+	c.PipeSeconds += pipeSec
+
+	bytes := int64(ni)*int64(s.cfg.BytesPerI) +
+		int64(ni)*int64(s.cfg.BytesPerForce)*int64(boards)
+	if chargeJ {
+		bytes += int64(nj) * int64(s.cfg.BytesPerJ)
+	}
+	c.BytesTransferred += bytes
+	c.BusSeconds += float64(bytes)/s.cfg.BusBandwidth + s.cfg.BusLatencyS
+}

@@ -1,0 +1,318 @@
+package g5
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/vec"
+)
+
+func newTestSystem(t *testing.T) *System {
+	t.Helper()
+	sys, err := NewSystem(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.SetScale(-100, 100); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+	bad := DefaultConfig()
+	bad.Boards = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("Boards=0 accepted")
+	}
+	bad = DefaultConfig()
+	bad.PosBits = 60
+	if err := bad.Validate(); err == nil {
+		t.Error("PosBits=60 accepted")
+	}
+	bad = DefaultConfig()
+	bad.BusBandwidth = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero bandwidth accepted")
+	}
+}
+
+// TestPeakAccounting is experiment E1: the default configuration's peak
+// must be exactly the paper's numbers — 32 pipelines, 2.88e9
+// interactions/s, 109.44 Gflops.
+func TestPeakAccounting(t *testing.T) {
+	cfg := DefaultConfig()
+	if got := cfg.PhysicalPipes(); got != 32 {
+		t.Errorf("physical pipes = %d, want 32", got)
+	}
+	if got := cfg.PeakInteractionsPerSecond(); math.Abs(got-2.88e9) > 1 {
+		t.Errorf("peak rate = %v, want 2.88e9", got)
+	}
+	if got := cfg.PeakFlops(); math.Abs(got-109.44e9) > 1 {
+		t.Errorf("peak flops = %v, want 109.44e9 (paper §2)", got)
+	}
+	// Virtual pipes per board: 8 chips × 2 pipes × 6 VMP = 96, and the
+	// VMP factor must equal the chip/board clock ratio.
+	if got := cfg.VirtualPipesPerBoard(); got != 96 {
+		t.Errorf("virtual pipes per board = %d, want 96", got)
+	}
+	if ratio := cfg.ChipClockHz / cfg.BoardClockHz; math.Abs(ratio-float64(cfg.VMP)) > 1e-9 {
+		t.Errorf("VMP %d != clock ratio %v", cfg.VMP, ratio)
+	}
+}
+
+func TestComputeRequiresScale(t *testing.T) {
+	sys, _ := NewSystem(DefaultConfig())
+	err := sys.Compute([]vec.V3{{}}, []vec.V3{{X: 1}}, []float64{1},
+		make([]vec.V3, 1), make([]float64, 1))
+	if err == nil {
+		t.Error("Compute before SetScale accepted")
+	}
+}
+
+func TestSetScaleRejectsBadRange(t *testing.T) {
+	sys, _ := NewSystem(DefaultConfig())
+	if err := sys.SetScale(1, 1); err == nil {
+		t.Error("empty range accepted")
+	}
+	if err := sys.SetScale(2, 1); err == nil {
+		t.Error("inverted range accepted")
+	}
+	if err := sys.SetScale(math.Inf(-1), math.Inf(1)); err == nil {
+		t.Error("infinite range accepted")
+	}
+}
+
+func TestComputeLengthValidation(t *testing.T) {
+	sys := newTestSystem(t)
+	i := []vec.V3{{}}
+	j := []vec.V3{{X: 1}}
+	if err := sys.Compute(i, j, []float64{1, 2}, make([]vec.V3, 1), make([]float64, 1)); err == nil {
+		t.Error("jmass length mismatch accepted")
+	}
+	if err := sys.Compute(i, j, []float64{1}, make([]vec.V3, 2), make([]float64, 1)); err == nil {
+		t.Error("acc length mismatch accepted")
+	}
+}
+
+func TestComputeTwoBody(t *testing.T) {
+	sys := newTestSystem(t)
+	sys.SetEps(0)
+	acc := make([]vec.V3, 1)
+	pot := make([]float64, 1)
+	err := sys.Compute(
+		[]vec.V3{{X: -1}},
+		[]vec.V3{{X: 1}}, []float64{1},
+		acc, pot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a = m/d² = 1/4, pot = -m/d = -0.5, to pipeline precision (~0.5%).
+	if math.Abs(acc[0].X-0.25) > 0.25*0.01 {
+		t.Errorf("acc = %v, want ~0.25", acc[0].X)
+	}
+	if math.Abs(pot[0]+0.5) > 0.5*0.01 {
+		t.Errorf("pot = %v, want ~-0.5", pot[0])
+	}
+}
+
+func TestComputeSelfGuard(t *testing.T) {
+	sys := newTestSystem(t)
+	sys.SetEps(0.1)
+	acc := make([]vec.V3, 1)
+	pot := make([]float64, 1)
+	p := vec.V3{X: 3, Y: 4, Z: 5}
+	if err := sys.Compute([]vec.V3{p}, []vec.V3{p}, []float64{7}, acc, pot); err != nil {
+		t.Fatal(err)
+	}
+	if acc[0] != vec.Zero || pot[0] != 0 {
+		t.Errorf("self interaction leaked: acc=%v pot=%v", acc[0], pot[0])
+	}
+}
+
+// TestPairwiseErrorCalibration is experiment E2a: the emulated pipeline's
+// pairwise force error must be ≈0.3 % RMS, the figure the paper quotes
+// for the G5 chip.
+func TestPairwiseErrorCalibration(t *testing.T) {
+	sys := newTestSystem(t)
+	sys.SetEps(0)
+	r := rng.New(12345)
+	const n = 20000
+	var sum2 float64
+	count := 0
+	for k := 0; k < n; k++ {
+		pi := vec.V3{X: r.Uniform(-50, 50), Y: r.Uniform(-50, 50), Z: r.Uniform(-50, 50)}
+		pj := vec.V3{X: r.Uniform(-50, 50), Y: r.Uniform(-50, 50), Z: r.Uniform(-50, 50)}
+		m := math.Exp(r.Uniform(-3, 3))
+		acc := make([]vec.V3, 1)
+		pot := make([]float64, 1)
+		if err := sys.Compute([]vec.V3{pi}, []vec.V3{pj}, []float64{m}, acc, pot); err != nil {
+			t.Fatal(err)
+		}
+		d := pj.Sub(pi)
+		r2 := d.Norm2()
+		if r2 < 1e-4 {
+			continue
+		}
+		exact := d.Scale(m / (r2 * math.Sqrt(r2)))
+		rel := acc[0].Sub(exact).Norm() / exact.Norm()
+		sum2 += rel * rel
+		count++
+	}
+	rms := math.Sqrt(sum2 / float64(count))
+	t.Logf("pairwise RMS force error = %.4f%%", rms*100)
+	if rms < 0.0015 || rms > 0.0045 {
+		t.Errorf("pairwise RMS error = %.4f%%, want ≈0.3%% (band 0.15-0.45%%)", rms*100)
+	}
+}
+
+// TestTimingModelHeadline checks the timing model against the paper's
+// arithmetic: at the headline run's average group geometry
+// (n_i = 2000 group members, n_j = 13431 list entries), the pipeline
+// time for the whole step must come out near 10 s — the value implied
+// by 2.9e10 interactions/step at 2.88e9 interactions/s.
+func TestTimingModelHeadline(t *testing.T) {
+	sys := newTestSystem(t)
+	// Charge the per-step work synthetically: 1080 groups.
+	const groups = 1080
+	const ni, nj = 2000, 13431
+	for g := 0; g < groups; g++ {
+		sys.charge(ni, nj)
+	}
+	c := sys.Counters()
+	wantInteractions := int64(groups) * ni * nj
+	if c.Interactions != wantInteractions {
+		t.Errorf("interactions = %d, want %d", c.Interactions, wantInteractions)
+	}
+	// Ideal pipeline time = interactions / 2.88e9 ≈ 10.07 s; the model
+	// adds ceil-padding (i groups of 96, j split across boards), so
+	// expect slightly more but within 10%.
+	ideal := float64(wantInteractions) / sys.Config().PeakInteractionsPerSecond()
+	if c.PipeSeconds < ideal {
+		t.Errorf("pipe time %v below ideal %v — model lost work", c.PipeSeconds, ideal)
+	}
+	if c.PipeSeconds > ideal*1.10 {
+		t.Errorf("pipe time %v more than 10%% over ideal %v", c.PipeSeconds, ideal)
+	}
+	// Bus traffic: nj*16 + ni*12 + ni*16*2 bytes per group.
+	wantBytes := int64(groups) * (nj*16 + ni*12 + ni*16*2)
+	if c.BytesTransferred != wantBytes {
+		t.Errorf("bytes = %d, want %d", c.BytesTransferred, wantBytes)
+	}
+	t.Logf("per-step: pipe %.2f s, bus %.2f s (paper-implied pipe ~10.1 s)",
+		c.PipeSeconds, c.BusSeconds)
+}
+
+func TestJMemoryPasses(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.JMemPerBoard = 100 // tiny memory: 200 total
+	sys, _ := NewSystem(cfg)
+	sys.SetScale(-10, 10)
+	sys.charge(96, 500) // 500 j > 200 capacity -> 3 passes
+	if sys.Counters().JPasses != 3 {
+		t.Errorf("JPasses = %d, want 3", sys.Counters().JPasses)
+	}
+}
+
+func TestStrictRange(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.StrictRange = true
+	sys, _ := NewSystem(cfg)
+	sys.SetScale(-1, 1)
+	err := sys.Compute([]vec.V3{{X: 5}}, []vec.V3{{}}, []float64{1},
+		make([]vec.V3, 1), make([]float64, 1))
+	if err == nil {
+		t.Error("strict mode accepted out-of-range position")
+	}
+}
+
+func TestClampCounting(t *testing.T) {
+	sys, _ := NewSystem(DefaultConfig())
+	sys.SetScale(-1, 1)
+	err := sys.Compute([]vec.V3{{X: 5}}, []vec.V3{{}}, []float64{1},
+		make([]vec.V3, 1), make([]float64, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Counters().RangeClamps == 0 {
+		t.Error("clamp not counted")
+	}
+}
+
+func TestResetCounters(t *testing.T) {
+	sys := newTestSystem(t)
+	sys.charge(10, 10)
+	sys.ResetCounters()
+	if c := sys.Counters(); c.Interactions != 0 || c.HWSeconds() != 0 {
+		t.Errorf("counters not reset: %+v", c)
+	}
+}
+
+func TestEmptyBatchesAreFree(t *testing.T) {
+	sys := newTestSystem(t)
+	if err := sys.Compute(nil, []vec.V3{{X: 1}}, []float64{1}, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Compute([]vec.V3{{}}, nil, nil, make([]vec.V3, 1), make([]float64, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if c := sys.Counters(); c.Runs != 0 || c.Interactions != 0 {
+		t.Errorf("empty batches charged: %+v", c)
+	}
+}
+
+func TestFloat64ConfigIsExact(t *testing.T) {
+	// With all precision knobs maxed, the pipeline must agree with
+	// float64 arithmetic to rounding error — the paper's observation
+	// that results were "practically the same" with 64-bit arithmetic,
+	// exercised in reverse.
+	cfg := DefaultConfig()
+	cfg.PosBits = 52
+	cfg.MassBits = 52
+	cfg.R2Bits = 52
+	cfg.PipeBits = 52
+	sys, _ := NewSystem(cfg)
+	sys.SetScale(-100, 100)
+	sys.SetEps(0.1)
+
+	r := rng.New(6)
+	ni, nj := 10, 50
+	ipos := make([]vec.V3, ni)
+	jpos := make([]vec.V3, nj)
+	jm := make([]float64, nj)
+	for i := range ipos {
+		ipos[i] = vec.V3{X: r.Uniform(-50, 50), Y: r.Uniform(-50, 50), Z: r.Uniform(-50, 50)}
+	}
+	for j := range jpos {
+		jpos[j] = vec.V3{X: r.Uniform(-50, 50), Y: r.Uniform(-50, 50), Z: r.Uniform(-50, 50)}
+		jm[j] = 1 + r.Float64()
+	}
+	acc := make([]vec.V3, ni)
+	pot := make([]float64, ni)
+	if err := sys.Compute(ipos, jpos, jm, acc, pot); err != nil {
+		t.Fatal(err)
+	}
+	// Position quantisation at 52 bits over [-100,100) is ~2e-14
+	// absolute; compare against float64 reference loosely.
+	for i := range ipos {
+		var want vec.V3
+		var wpot float64
+		for j := range jpos {
+			d := jpos[j].Sub(ipos[i])
+			r2 := d.Norm2() + 0.01
+			inv := 1 / math.Sqrt(r2)
+			want = want.MulAdd(jm[j]*inv/r2, d)
+			wpot -= jm[j] * inv
+		}
+		if acc[i].Sub(want).Norm() > 1e-9*(1+want.Norm()) {
+			t.Fatalf("max-precision pipeline differs from float64 at %d: %v vs %v", i, acc[i], want)
+		}
+		if math.Abs(pot[i]-wpot) > 1e-9*(1+math.Abs(wpot)) {
+			t.Fatalf("potential differs at %d", i)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package integrate
+
+import (
+	"math"
+
+	"repro/internal/nbody"
+)
+
+// TimestepCriterion selects a global timestep from the current
+// dynamical state. The paper used a fixed step (999 equal steps); the
+// criterion is the standard extension for runs whose dynamical time
+// shrinks as structure collapses.
+type TimestepCriterion struct {
+	// Eta is the dimensionless accuracy parameter (default 0.2).
+	Eta float64
+	// Eps is the softening length entering the acceleration criterion.
+	Eps float64
+	// MaxDT caps the step (0 = uncapped).
+	MaxDT float64
+	// MinDT floors the step (0 = unfloored); a floor guards against
+	// pathological single-particle accelerations stalling the run.
+	MinDT float64
+}
+
+// Pick returns the global timestep dt = η·min_i sqrt(eps/|a_i|), the
+// standard collisionless softened-force criterion (e.g. GADGET's
+// ErrTolIntAccuracy form). Accelerations must be current.
+func (c TimestepCriterion) Pick(s *nbody.System) float64 {
+	eta := c.Eta
+	if eta == 0 {
+		eta = 0.2
+	}
+	maxA := 0.0
+	for _, a := range s.Acc {
+		if n := a.Norm(); n > maxA {
+			maxA = n
+		}
+	}
+	var dt float64
+	if maxA == 0 || c.Eps <= 0 {
+		dt = c.MaxDT // free system: no intrinsic scale
+		if dt == 0 {
+			dt = 1
+		}
+	} else {
+		dt = eta * math.Sqrt(c.Eps/maxA)
+	}
+	if c.MaxDT > 0 && dt > c.MaxDT {
+		dt = c.MaxDT
+	}
+	if c.MinDT > 0 && dt < c.MinDT {
+		dt = c.MinDT
+	}
+	return dt
+}
+
+// AdaptiveLeapfrog wraps Leapfrog with per-step timestep selection.
+// Adapting dt breaks exact symplecticity, which is why fixed steps
+// remain the default; the adaptive variant is for runs with deep
+// collapse where a fixed step would either crawl or blow up.
+type AdaptiveLeapfrog struct {
+	// Criterion picks each step.
+	Criterion TimestepCriterion
+	// Force computes accelerations.
+	Force ForceFunc
+
+	lastDT float64
+	primed bool
+}
+
+// LastDT returns the most recent step size.
+func (a *AdaptiveLeapfrog) LastDT() float64 { return a.lastDT }
+
+// Step advances by one adaptively chosen step and returns its size.
+func (a *AdaptiveLeapfrog) Step(s *nbody.System) (float64, error) {
+	if !a.primed {
+		if err := a.Force(s); err != nil {
+			return 0, err
+		}
+		a.primed = true
+	}
+	dt := a.Criterion.Pick(s)
+	half := dt / 2
+	for i := range s.Vel {
+		s.Vel[i] = s.Vel[i].MulAdd(half, s.Acc[i])
+	}
+	for i := range s.Pos {
+		s.Pos[i] = s.Pos[i].MulAdd(dt, s.Vel[i])
+	}
+	if err := a.Force(s); err != nil {
+		return 0, err
+	}
+	for i := range s.Vel {
+		s.Vel[i] = s.Vel[i].MulAdd(half, s.Acc[i])
+	}
+	a.lastDT = dt
+	return dt, nil
+}
+
+// RunUntil advances until the accumulated time reaches t (the final
+// step is clamped to land exactly on t). Returns the number of steps.
+func (a *AdaptiveLeapfrog) RunUntil(s *nbody.System, t float64) (int, error) {
+	elapsed := 0.0
+	steps := 0
+	for elapsed < t {
+		if !a.primed {
+			if err := a.Force(s); err != nil {
+				return steps, err
+			}
+			a.primed = true
+		}
+		dt := a.Criterion.Pick(s)
+		if elapsed+dt > t {
+			dt = t - elapsed
+		}
+		half := dt / 2
+		for i := range s.Vel {
+			s.Vel[i] = s.Vel[i].MulAdd(half, s.Acc[i])
+		}
+		for i := range s.Pos {
+			s.Pos[i] = s.Pos[i].MulAdd(dt, s.Vel[i])
+		}
+		if err := a.Force(s); err != nil {
+			return steps, err
+		}
+		for i := range s.Vel {
+			s.Vel[i] = s.Vel[i].MulAdd(half, s.Acc[i])
+		}
+		a.lastDT = dt
+		elapsed += dt
+		steps++
+	}
+	return steps, nil
+}

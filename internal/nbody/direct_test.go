@@ -1,0 +1,116 @@
+package nbody
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/vec"
+)
+
+func TestDirectForcesTwoBody(t *testing.T) {
+	// Two unit masses separated by d=2 along x, no softening:
+	// a = G m / d² toward each other.
+	const g = 1.0
+	s := New(2)
+	s.Mass[0], s.Mass[1] = 1, 1
+	s.Pos[0] = vec.V3{X: -1}
+	s.Pos[1] = vec.V3{X: 1}
+	DirectForces(s, g, 0)
+	want := 0.25
+	if math.Abs(s.Acc[0].X-want) > 1e-14 || math.Abs(s.Acc[1].X+want) > 1e-14 {
+		t.Errorf("acc = %v, %v; want ±%v", s.Acc[0], s.Acc[1], want)
+	}
+	if s.Acc[0].Y != 0 || s.Acc[0].Z != 0 {
+		t.Error("transverse acceleration should vanish")
+	}
+	// Potential: -G m / r = -0.5 each.
+	if math.Abs(s.Pot[0]+0.5) > 1e-14 {
+		t.Errorf("pot = %v, want -0.5", s.Pot[0])
+	}
+}
+
+func TestDirectForcesSoftening(t *testing.T) {
+	s := New(2)
+	s.Mass[0], s.Mass[1] = 1, 1
+	s.Pos[1] = vec.V3{X: 1}
+	DirectForces(s, 1, 1) // eps = separation
+	// a = d / (d²+eps²)^{3/2} = 1/2^{3/2}
+	want := 1 / math.Pow(2, 1.5)
+	if math.Abs(s.Acc[0].X-want) > 1e-14 {
+		t.Errorf("softened acc = %v, want %v", s.Acc[0].X, want)
+	}
+}
+
+func TestDirectForcesNewtonsThirdLaw(t *testing.T) {
+	r := rng.New(17)
+	s := New(64)
+	for i := range s.Pos {
+		s.Pos[i] = vec.V3{X: r.Normal(), Y: r.Normal(), Z: r.Normal()}
+		s.Mass[i] = 0.5 + r.Float64()
+	}
+	DirectForces(s, 1, 0.01)
+	var f vec.V3
+	for i := range s.Acc {
+		f = f.MulAdd(s.Mass[i], s.Acc[i])
+	}
+	// Total force must vanish (momentum conservation).
+	if f.Norm() > 1e-10 {
+		t.Errorf("net force = %v", f)
+	}
+}
+
+func TestPotentialEnergyConsistency(t *testing.T) {
+	r := rng.New(23)
+	s := New(32)
+	for i := range s.Pos {
+		s.Pos[i] = vec.V3{X: r.Normal(), Y: r.Normal(), Z: r.Normal()}
+		s.Mass[i] = 1
+	}
+	const g, eps = 1.0, 0.05
+	DirectForces(s, g, eps)
+	pairwise := PotentialEnergy(s, g, eps)
+	fromPot := PotentialEnergyFromPot(s)
+	if math.Abs(pairwise-fromPot) > 1e-10*math.Abs(pairwise) {
+		t.Errorf("PE pairwise %v != from-pot %v", pairwise, fromPot)
+	}
+}
+
+func TestDirectForcesParallelMatchesSerial(t *testing.T) {
+	r := rng.New(31)
+	s := New(100)
+	for i := range s.Pos {
+		s.Pos[i] = vec.V3{X: r.Normal(), Y: r.Normal(), Z: r.Normal()}
+		s.Mass[i] = 1 + r.Float64()
+	}
+	s2 := s.Clone()
+	DirectForces(s, 1, 0.01)
+	// Serial reference.
+	serialForces(s2, 1, 0.01)
+	for i := range s.Acc {
+		if s.Acc[i].Sub(s2.Acc[i]).Norm() > 1e-12 {
+			t.Fatalf("parallel/serial mismatch at %d: %v vs %v", i, s.Acc[i], s2.Acc[i])
+		}
+	}
+}
+
+func serialForces(s *System, g, eps float64) {
+	n := s.N()
+	eps2 := eps * eps
+	for i := 0; i < n; i++ {
+		var acc vec.V3
+		var pot float64
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			d := s.Pos[j].Sub(s.Pos[i])
+			r2 := d.Norm2() + eps2
+			inv := 1 / math.Sqrt(r2)
+			acc = acc.MulAdd(s.Mass[j]*inv/r2, d)
+			pot -= s.Mass[j] * inv
+		}
+		s.Acc[i] = acc.Scale(g)
+		s.Pot[i] = g * pot
+	}
+}

@@ -1,0 +1,115 @@
+package nbody
+
+import (
+	"math"
+
+	"repro/internal/rng"
+	"repro/internal/vec"
+)
+
+// Hernquist samples an N-particle Hernquist (1990) sphere of total mass
+// m and scale radius a in equilibrium, in units with gravitational
+// constant g. The Hernquist profile rho ∝ 1/(r (r+a)³) is the standard
+// model for galaxy bulges and dark-matter halos; its cumulative mass
+// M(r) = m r²/(r+a)² inverts in closed form.
+func Hernquist(n int, m, a, g float64, src *rng.Source) *System {
+	s := New(n)
+	mi := m / float64(n)
+	for i := 0; i < n; i++ {
+		s.Mass[i] = mi
+		// Invert M(r)/m = x: r = a sqrt(x)/(1-sqrt(x)). Truncate at 50a.
+		var r float64
+		for {
+			x := src.Float64()
+			sq := math.Sqrt(x)
+			if sq >= 1 {
+				continue
+			}
+			r = a * sq / (1 - sq)
+			if r < 50*a {
+				break
+			}
+		}
+		ux, uy, uz := src.UnitSphere()
+		s.Pos[i] = vec.V3{X: r * ux, Y: r * uy, Z: r * uz}
+
+		// Velocity from the isotropic distribution function via
+		// von Neumann rejection against an envelope of v² f(E) with
+		// f evaluated numerically from the fitting form of Hernquist
+		// (1990) eq. 17. For simplicity and robustness we use the local
+		// isothermal approximation with the Jeans dispersion, which
+		// yields a near-equilibrium model adequate for test problems:
+		// sigma²(r) from the Jeans equation for the Hernquist pair.
+		sigma2 := hernquistSigma2(r, m, a, g)
+		vesc2 := 2 * g * m / (r + a) // escape speed: -2Φ(r)
+		var vx, vy, vz float64
+		for {
+			vx = src.Normal() * math.Sqrt(sigma2)
+			vy = src.Normal() * math.Sqrt(sigma2)
+			vz = src.Normal() * math.Sqrt(sigma2)
+			if vx*vx+vy*vy+vz*vz < 0.95*vesc2 {
+				break
+			}
+		}
+		s.Vel[i] = vec.V3{X: vx, Y: vy, Z: vz}
+	}
+	s.Recenter()
+	return s
+}
+
+// hernquistSigma2 returns the isotropic Jeans radial velocity
+// dispersion of the Hernquist model (Hernquist 1990, eq. 10).
+func hernquistSigma2(r, m, a, g float64) float64 {
+	if r <= 0 {
+		r = 1e-6 * a
+	}
+	x := r / a
+	// sigma_r² = (G m / a) * x(1+x)³ ln((1+x)/x)
+	//            - (G m r / a²) (25 + 52x + 42x² + 12x³) / (12 (1+x))
+	term1 := g * m / a * x * math.Pow(1+x, 3) * math.Log((1+x)/x)
+	term2 := g * m * r / (a * a) * (25 + 52*x + 42*x*x + 12*x*x*x) / (12 * (1 + x))
+	s2 := term1 - term2
+	if s2 < 0 {
+		return 0
+	}
+	return s2
+}
+
+// ExponentialDisk samples a razor-thin exponential disk of total mass m
+// and scale length rd, thickened vertically with scale height zd, on
+// near-circular orbits in its own midplane potential approximated by
+// the spherical enclosed mass. It is a qualitative galaxy-disk model
+// for collision demos, not a rigorous equilibrium.
+func ExponentialDisk(n int, m, rd, zd, g float64, src *rng.Source) *System {
+	s := New(n)
+	mi := m / float64(n)
+	for i := 0; i < n; i++ {
+		s.Mass[i] = mi
+		// Radius from the exponential-disk cumulative mass via
+		// rejection on r e^{-r/rd}.
+		var r float64
+		for {
+			r = -rd * math.Log(src.Float64()*src.Float64()) // Gamma(2) deviate: surface density ∝ r e^{-r/rd}
+			if r < 10*rd {
+				break
+			}
+		}
+		phi := src.Uniform(0, 2*math.Pi)
+		z := zd * src.Normal()
+		s.Pos[i] = vec.V3{X: r * math.Cos(phi), Y: r * math.Sin(phi), Z: z}
+
+		// Circular speed from the enclosed disk mass (spherical
+		// approximation): M(<r) = m (1 - (1+r/rd) e^{-r/rd}).
+		enc := m * (1 - (1+r/rd)*math.Exp(-r/rd))
+		vc := math.Sqrt(g * enc / math.Max(r, 1e-6*rd))
+		// Small radial/vertical velocity dispersion for stability.
+		sig := 0.1 * vc
+		s.Vel[i] = vec.V3{
+			X: -vc*math.Sin(phi) + sig*src.Normal(),
+			Y: vc*math.Cos(phi) + sig*src.Normal(),
+			Z: sig * src.Normal(),
+		}
+	}
+	s.Recenter()
+	return s
+}

@@ -1,0 +1,134 @@
+package nbody
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestHernquistBasics(t *testing.T) {
+	const n = 4000
+	s := Hernquist(n, 1, 1, 1, rng.New(1))
+	if s.N() != n {
+		t.Fatalf("N = %d", s.N())
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.TotalMass()-1) > 1e-12 {
+		t.Errorf("mass = %v", s.TotalMass())
+	}
+	if s.CenterOfMass().Norm() > 1e-12 {
+		t.Errorf("COM = %v", s.CenterOfMass())
+	}
+}
+
+func TestHernquistHalfMassRadius(t *testing.T) {
+	// Hernquist half-mass radius: r½ = a/(sqrt(2)-1) ≈ 2.414 a.
+	const n = 8000
+	s := Hernquist(n, 1, 1, 1, rng.New(2))
+	want := 1 / (math.Sqrt2 - 1)
+	in := 0
+	for _, p := range s.Pos {
+		if p.Norm() < want {
+			in++
+		}
+	}
+	frac := float64(in) / n
+	if math.Abs(frac-0.5) > 0.03 {
+		t.Errorf("mass inside r½: %v, want ~0.5", frac)
+	}
+}
+
+func TestHernquistNearEquilibrium(t *testing.T) {
+	// The Jeans-based sampling is approximate; virial ratio should
+	// still be within ~15% of unity.
+	const n = 6000
+	s := Hernquist(n, 1, 1, 1, rng.New(3))
+	ke := s.KineticEnergy()
+	pe := PotentialEnergy(s, 1, 0)
+	virial := -2 * ke / pe
+	if virial < 0.8 || virial > 1.2 {
+		t.Errorf("virial ratio = %v", virial)
+	}
+}
+
+func TestHernquistSigma2(t *testing.T) {
+	// Dispersion is positive and vanishes at large radii.
+	if s := hernquistSigma2(1, 1, 1, 1); s <= 0 {
+		t.Errorf("sigma²(a) = %v", s)
+	}
+	small := hernquistSigma2(100, 1, 1, 1)
+	if small < 0 || small > hernquistSigma2(1, 1, 1, 1) {
+		t.Errorf("sigma² at 100a = %v, should be small and positive", small)
+	}
+	if s := hernquistSigma2(0, 1, 1, 1); s < 0 {
+		t.Errorf("sigma²(0) = %v", s)
+	}
+}
+
+func TestExponentialDiskBasics(t *testing.T) {
+	const n = 5000
+	s := ExponentialDisk(n, 1, 1, 0.05, 1, rng.New(4))
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.TotalMass()-1) > 1e-12 {
+		t.Errorf("mass = %v", s.TotalMass())
+	}
+	// Thin: RMS |z| far below RMS cylindrical radius.
+	var sumZ2, sumR2 float64
+	for _, p := range s.Pos {
+		sumZ2 += p.Z * p.Z
+		sumR2 += p.X*p.X + p.Y*p.Y
+	}
+	if math.Sqrt(sumZ2/n) > 0.2*math.Sqrt(sumR2/n) {
+		t.Errorf("disk not thin: z_rms=%v r_rms=%v", math.Sqrt(sumZ2/n), math.Sqrt(sumR2/n))
+	}
+}
+
+func TestExponentialDiskRotates(t *testing.T) {
+	const n = 5000
+	s := ExponentialDisk(n, 1, 1, 0.05, 1, rng.New(5))
+	// Net angular momentum about z must be large and consistent in sign.
+	var lz float64
+	for i := range s.Pos {
+		lz += s.Mass[i] * (s.Pos[i].X*s.Vel[i].Y - s.Pos[i].Y*s.Vel[i].X)
+	}
+	if lz <= 0 {
+		t.Errorf("disk angular momentum = %v, want positive (prograde)", lz)
+	}
+	// Tangential speed dominates: KE mostly rotational.
+	var vrot2, vtot2 float64
+	for i := range s.Pos {
+		r := math.Hypot(s.Pos[i].X, s.Pos[i].Y)
+		if r == 0 {
+			continue
+		}
+		// Tangential unit vector (-y/r, x/r).
+		vt := (-s.Pos[i].Y*s.Vel[i].X + s.Pos[i].X*s.Vel[i].Y) / r
+		vrot2 += vt * vt
+		vtot2 += s.Vel[i].Norm2()
+	}
+	if vrot2/vtot2 < 0.7 {
+		t.Errorf("rotational KE fraction = %v, want > 0.7", vrot2/vtot2)
+	}
+}
+
+func TestDiskScaleLength(t *testing.T) {
+	// Half-mass radius of an exponential disk: R½ ≈ 1.678 rd.
+	const n = 10000
+	s := ExponentialDisk(n, 1, 2, 0.05, 1, rng.New(6))
+	want := 1.678 * 2
+	in := 0
+	for _, p := range s.Pos {
+		if math.Hypot(p.X, p.Y) < want {
+			in++
+		}
+	}
+	frac := float64(in) / n
+	if math.Abs(frac-0.5) > 0.04 {
+		t.Errorf("mass inside R½ = %v, want ~0.5", frac)
+	}
+}

@@ -1,0 +1,28 @@
+package octree
+
+// OpenCriterion is the multipole acceptance criterion (MAC) deciding
+// whether a cell may be used as a single point mass from a given
+// squared distance, or must be opened.
+type OpenCriterion struct {
+	// Theta is the Barnes-Hut opening parameter. Smaller is more
+	// accurate; 0 forces full opening (degenerates to direct summation).
+	Theta float64
+	// UseBmax selects the conservative criterion comparing the distance
+	// from the cell's centre of mass to its farthest corner (bmax)
+	// rather than the cell edge length. This matches the criterion of
+	// the Barnes (1990) vectorised code more closely and avoids the
+	// detonating-cell pathology of the plain geometric MAC.
+	UseBmax bool
+}
+
+// Accept reports whether the cell n may be approximated by its centre
+// of mass when the squared distance from the field point (or from the
+// receiving group's surface) to n.COM is d2.
+func (c OpenCriterion) Accept(n *Node, d2 float64) bool {
+	s := n.Size
+	if c.UseBmax {
+		s = n.Bmax
+	}
+	// Accept when s < θ·d, i.e. s² < θ²·d².
+	return s*s < c.Theta*c.Theta*d2
+}

@@ -1,0 +1,341 @@
+// Package octree builds the Barnes-Hut octree. Particles are sorted
+// along the Morton curve so every cell owns a contiguous index range;
+// cells are split recursively by key octant with binary searches into
+// the sorted key array. The centre-of-mass pass runs bottom-up during
+// construction.
+//
+// The contiguous-range property is what makes Barnes' (1990) modified
+// algorithm cheap: a particle group is just an index range, and the
+// GRAPE host interface can stream it without gathering.
+package octree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/morton"
+	"repro/internal/nbody"
+	"repro/internal/vec"
+)
+
+// NoChild marks an absent child slot.
+const NoChild = int32(-1)
+
+// Node is one octree cell.
+type Node struct {
+	// Box is the cubic cell volume.
+	Box vec.Box
+	// COM is the centre of mass of the cell's particles.
+	COM vec.V3
+	// Mass is the total mass in the cell.
+	Mass float64
+	// Size is the cell edge length.
+	Size float64
+	// Bmax is the distance from COM to the farthest cell corner, the
+	// conservative effective size used by the bmax opening criterion.
+	Bmax float64
+	// Start and Count give the cell's particle index range in tree
+	// (Morton) order.
+	Start, Count int32
+	// Children holds node indices of the up-to-8 children; NoChild
+	// marks empty octants. Leaf nodes have all slots NoChild.
+	Children [8]int32
+	// Leaf marks cells that were not subdivided.
+	Leaf bool
+	// Level is the subdivision depth (root = 0).
+	Level int32
+}
+
+// Tree is a built Barnes-Hut octree over a particle system. The system
+// is reordered into Morton order by Build; Tree keeps a reference to
+// its arrays.
+type Tree struct {
+	// Nodes holds all cells; Nodes[0] is the root.
+	Nodes []Node
+	// Sys is the particle system the tree indexes (in tree order).
+	Sys *nbody.System
+	// LeafCap is the maximum particle count of a leaf cell.
+	LeafCap int
+}
+
+// Options configure tree construction.
+type Options struct {
+	// LeafCap is the maximum number of particles in a leaf. Default 8.
+	LeafCap int
+}
+
+func (o *Options) leafCap() int {
+	if o == nil || o.LeafCap <= 0 {
+		return 8
+	}
+	return o.LeafCap
+}
+
+// Build sorts the system into Morton order (mutating it) and builds the
+// octree.
+func Build(s *nbody.System, opt *Options) (*Tree, error) {
+	if s.N() == 0 {
+		return nil, fmt.Errorf("octree: empty system")
+	}
+	cube := s.Bounds().Cube()
+	if cube.MaxEdge() == 0 {
+		// All particles coincide; give the cell unit size so geometry
+		// stays finite.
+		cube = vec.NewBox(cube.Min.Sub(vec.V3{X: 0.5, Y: 0.5, Z: 0.5}),
+			cube.Min.Add(vec.V3{X: 0.5, Y: 0.5, Z: 0.5}))
+	}
+	keys := morton.Keys(s.Pos, cube)
+	order := morton.SortOrderRadix(keys)
+	if err := s.ApplyOrder(order); err != nil {
+		return nil, err
+	}
+	sorted := make([]morton.Key, len(keys))
+	for i, idx := range order {
+		sorted[i] = keys[idx]
+	}
+
+	t := &Tree{
+		Nodes:   make([]Node, 0, 2*s.N()/opt.leafCap()+16),
+		Sys:     s,
+		LeafCap: opt.leafCap(),
+	}
+	t.build(sorted, cube, 0, int32(s.N()), 0)
+	return t, nil
+}
+
+// build recursively constructs the subtree for sorted key range
+// [start, start+count) with cell box, at the given level, returning the
+// node index.
+func (t *Tree) build(keys []morton.Key, box vec.Box, start, count int32, level int32) int32 {
+	idx := int32(len(t.Nodes))
+	t.Nodes = append(t.Nodes, Node{
+		Box:   box,
+		Size:  box.MaxEdge(),
+		Start: start,
+		Count: count,
+		Level: level,
+	})
+	for i := range t.Nodes[idx].Children {
+		t.Nodes[idx].Children[i] = NoChild
+	}
+
+	if int(count) <= t.LeafCap || level >= morton.Bits-1 {
+		t.Nodes[idx].Leaf = true
+		t.finishLeaf(idx)
+		return idx
+	}
+
+	// Split [start, start+count) by octant at this level using binary
+	// search: keys are sorted, and the octant bits at this level are a
+	// prefix-ordered field within the node's range.
+	lo := start
+	for oct := 0; oct < 8; oct++ {
+		// Find the end of this octant's run.
+		hi := lo + int32(sort.Search(int(start+count-lo), func(i int) bool {
+			return keys[lo+int32(i)].OctantAtLevel(int(level)) > oct
+		}))
+		if hi > lo {
+			child := t.build(keys, box.Child(oct), lo, hi-lo, level+1)
+			t.Nodes[idx].Children[oct] = child
+		}
+		lo = hi
+	}
+
+	// Centre-of-mass pass: aggregate children.
+	var m float64
+	var com vec.V3
+	for _, c := range t.Nodes[idx].Children {
+		if c == NoChild {
+			continue
+		}
+		cn := &t.Nodes[c]
+		m += cn.Mass
+		com = com.MulAdd(cn.Mass, cn.COM)
+	}
+	n := &t.Nodes[idx]
+	n.Mass = m
+	if m > 0 {
+		n.COM = com.Scale(1 / m)
+	} else {
+		n.COM = box.Center()
+	}
+	n.Bmax = maxCornerDist(box, n.COM)
+	return idx
+}
+
+// finishLeaf computes the mass and centre of mass of a leaf directly
+// from its particles.
+func (t *Tree) finishLeaf(idx int32) {
+	n := &t.Nodes[idx]
+	var m float64
+	var com vec.V3
+	for i := n.Start; i < n.Start+n.Count; i++ {
+		mi := t.Sys.Mass[i]
+		m += mi
+		com = com.MulAdd(mi, t.Sys.Pos[i])
+	}
+	n.Mass = m
+	if m > 0 {
+		n.COM = com.Scale(1 / m)
+	} else {
+		n.COM = n.Box.Center()
+	}
+	n.Bmax = maxCornerDist(n.Box, n.COM)
+}
+
+// maxCornerDist returns the distance from p to the farthest corner of
+// the box.
+func maxCornerDist(b vec.Box, p vec.V3) float64 {
+	var d2 float64
+	for i := 0; i < 3; i++ {
+		lo := p.Comp(i) - b.Min.Comp(i)
+		hi := b.Max.Comp(i) - p.Comp(i)
+		d := math.Max(math.Abs(lo), math.Abs(hi))
+		d2 += d * d
+	}
+	return math.Sqrt(d2)
+}
+
+// Root returns the root node.
+func (t *Tree) Root() *Node { return &t.Nodes[0] }
+
+// NumNodes returns the total cell count.
+func (t *Tree) NumNodes() int { return len(t.Nodes) }
+
+// Depth returns the maximum node level plus one.
+func (t *Tree) Depth() int {
+	max := int32(0)
+	for i := range t.Nodes {
+		if t.Nodes[i].Level > max {
+			max = t.Nodes[i].Level
+		}
+	}
+	return int(max) + 1
+}
+
+// Refresh recomputes masses, centres of mass and bmax bottom-up from
+// the current particle positions WITHOUT changing the cell topology.
+// Together with a periodic full rebuild this implements tree reuse:
+// between rebuilds particles drift slightly out of their cells, an
+// approximation bounded by the drift distance, while the O(N log N)
+// sort+build cost is amortised. (Classic 1990s treecode optimisation;
+// the ablation benchmarks quantify the trade-off.)
+func (t *Tree) Refresh() {
+	var walk func(idx int32)
+	walk = func(idx int32) {
+		n := &t.Nodes[idx]
+		if n.Leaf {
+			t.finishLeaf(idx)
+			return
+		}
+		var m float64
+		var com vec.V3
+		for _, c := range n.Children {
+			if c == NoChild {
+				continue
+			}
+			walk(c)
+			cn := &t.Nodes[c]
+			m += cn.Mass
+			com = com.MulAdd(cn.Mass, cn.COM)
+		}
+		n.Mass = m
+		if m > 0 {
+			n.COM = com.Scale(1 / m)
+		} else {
+			n.COM = n.Box.Center()
+		}
+		n.Bmax = maxCornerDist(n.Box, n.COM)
+	}
+	walk(0)
+}
+
+// Groups returns the index ranges of the particle groups used by
+// Barnes' modified algorithm: the shallowest cells containing at most
+// ncrit particles. Every particle belongs to exactly one group, and
+// each group is a contiguous range in tree order.
+func (t *Tree) Groups(ncrit int) []Group {
+	if ncrit < 1 {
+		ncrit = 1
+	}
+	var groups []Group
+	var walk func(idx int32)
+	walk = func(idx int32) {
+		n := &t.Nodes[idx]
+		if int(n.Count) <= ncrit || n.Leaf {
+			groups = append(groups, Group{Node: idx, Start: n.Start, Count: n.Count})
+			return
+		}
+		for _, c := range n.Children {
+			if c != NoChild {
+				walk(c)
+			}
+		}
+	}
+	walk(0)
+	return groups
+}
+
+// Group is a particle group for the modified tree algorithm: the
+// particles [Start, Start+Count) in tree order, contained in cell Node.
+type Group struct {
+	// Node is the index of the cell bounding this group.
+	Node int32
+	// Start, Count give the group's particle range in tree order.
+	Start, Count int32
+}
+
+// Validate checks structural invariants of the tree: each internal
+// node's children partition its range, masses add up, centres of mass
+// lie inside the cell boxes, every particle lies in its leaf's box
+// (allowing quantisation slack on faces).
+func (t *Tree) Validate() error {
+	var totalErr error
+	var walk func(idx int32) (mass float64)
+	walk = func(idx int32) float64 {
+		n := &t.Nodes[idx]
+		if n.Leaf {
+			var m float64
+			for i := n.Start; i < n.Start+n.Count; i++ {
+				m += t.Sys.Mass[i]
+				// Morton quantisation can place a particle exactly on
+				// a cell face; allow slack of one quantisation step.
+				slack := n.Size * 1e-6
+				grown := vec.Box{
+					Min: n.Box.Min.Sub(vec.V3{X: slack, Y: slack, Z: slack}),
+					Max: n.Box.Max.Add(vec.V3{X: slack, Y: slack, Z: slack}),
+				}
+				if !grown.ContainsClosed(t.Sys.Pos[i]) {
+					totalErr = fmt.Errorf("octree: particle %d outside leaf box", i)
+				}
+			}
+			return m
+		}
+		var m float64
+		next := n.Start
+		for _, c := range n.Children {
+			if c == NoChild {
+				continue
+			}
+			cn := &t.Nodes[c]
+			if cn.Start != next {
+				totalErr = fmt.Errorf("octree: node %d children do not tile its range", idx)
+			}
+			next = cn.Start + cn.Count
+			m += walk(c)
+		}
+		if next != n.Start+n.Count {
+			totalErr = fmt.Errorf("octree: node %d range not covered by children", idx)
+		}
+		if math.Abs(m-n.Mass) > 1e-9*(1+math.Abs(m)) {
+			totalErr = fmt.Errorf("octree: node %d mass mismatch %v vs %v", idx, n.Mass, m)
+		}
+		return m
+	}
+	root := walk(0)
+	if math.Abs(root-t.Sys.TotalMass()) > 1e-9*(1+root) {
+		return fmt.Errorf("octree: root mass %v != system mass %v", root, t.Sys.TotalMass())
+	}
+	return totalErr
+}

@@ -1,0 +1,301 @@
+package octree
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/nbody"
+	"repro/internal/rng"
+	"repro/internal/vec"
+)
+
+func randomSystem(n int, seed uint64) *nbody.System {
+	r := rng.New(seed)
+	s := nbody.New(n)
+	for i := range s.Pos {
+		s.Pos[i] = vec.V3{X: r.Normal(), Y: r.Normal(), Z: r.Normal()}
+		s.Mass[i] = 0.5 + r.Float64()
+	}
+	return s
+}
+
+func TestBuildSmall(t *testing.T) {
+	s := randomSystem(100, 1)
+	tr, err := Build(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Root().Count != 100 {
+		t.Errorf("root count = %d", tr.Root().Count)
+	}
+}
+
+func TestBuildEmptyFails(t *testing.T) {
+	if _, err := Build(nbody.New(0), nil); err == nil {
+		t.Error("empty build should fail")
+	}
+}
+
+func TestBuildSingleParticle(t *testing.T) {
+	s := nbody.New(1)
+	s.Mass[0] = 2
+	s.Pos[0] = vec.V3{X: 1, Y: 2, Z: 3}
+	tr, err := Build(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Root().Leaf {
+		t.Error("single particle should be a leaf root")
+	}
+	if tr.Root().Mass != 2 {
+		t.Errorf("root mass = %v", tr.Root().Mass)
+	}
+	if tr.Root().COM.Sub(s.Pos[0]).Norm() > 1e-12 {
+		t.Errorf("root COM = %v", tr.Root().COM)
+	}
+}
+
+func TestBuildCoincidentParticles(t *testing.T) {
+	// All particles at the same point: depth cap must terminate the
+	// subdivision.
+	s := nbody.New(20)
+	for i := range s.Pos {
+		s.Pos[i] = vec.V3{X: 1, Y: 1, Z: 1}
+		s.Mass[i] = 1
+	}
+	tr, err := Build(s, &Options{LeafCap: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Root().Mass != 20 {
+		t.Errorf("root mass = %v", tr.Root().Mass)
+	}
+}
+
+func TestRootAggregates(t *testing.T) {
+	s := randomSystem(500, 2)
+	wantMass := s.TotalMass()
+	wantCOM := s.CenterOfMass()
+	tr, err := Build(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tr.Root().Mass-wantMass) > 1e-9 {
+		t.Errorf("root mass = %v, want %v", tr.Root().Mass, wantMass)
+	}
+	if tr.Root().COM.Sub(wantCOM).Norm() > 1e-9 {
+		t.Errorf("root COM = %v, want %v", tr.Root().COM, wantCOM)
+	}
+}
+
+func TestLeafCapRespected(t *testing.T) {
+	s := randomSystem(1000, 3)
+	tr, err := Build(s, &Options{LeafCap: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tr.Nodes {
+		n := &tr.Nodes[i]
+		if n.Leaf && int(n.Count) > 4 && n.Level < 20 {
+			t.Errorf("leaf %d has %d > 4 particles at level %d", i, n.Count, n.Level)
+		}
+	}
+}
+
+func TestValidateDetectsCorruption(t *testing.T) {
+	s := randomSystem(200, 4)
+	tr, err := Build(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Nodes[0].Mass *= 2
+	if err := tr.Validate(); err == nil {
+		t.Error("Validate accepted corrupted root mass")
+	}
+}
+
+func TestGroupsPartition(t *testing.T) {
+	s := randomSystem(2000, 5)
+	tr, err := Build(s, &Options{LeafCap: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ncrit := range []int{1, 8, 64, 500, 5000} {
+		groups := tr.Groups(ncrit)
+		covered := make([]bool, s.N())
+		for _, g := range groups {
+			if int(g.Count) > ncrit && !tr.Nodes[g.Node].Leaf {
+				t.Errorf("ncrit=%d: non-leaf group of %d particles", ncrit, g.Count)
+			}
+			for i := g.Start; i < g.Start+g.Count; i++ {
+				if covered[i] {
+					t.Fatalf("ncrit=%d: particle %d in two groups", ncrit, i)
+				}
+				covered[i] = true
+			}
+		}
+		for i, c := range covered {
+			if !c {
+				t.Fatalf("ncrit=%d: particle %d not in any group", ncrit, i)
+			}
+		}
+	}
+}
+
+func TestGroupsNcritOne(t *testing.T) {
+	s := randomSystem(100, 6)
+	tr, _ := Build(s, &Options{LeafCap: 1})
+	groups := tr.Groups(1)
+	if len(groups) != 100 {
+		t.Errorf("ncrit=1 leafcap=1 gives %d groups, want 100", len(groups))
+	}
+}
+
+func TestGroupsLargeNcritSingleGroup(t *testing.T) {
+	s := randomSystem(100, 7)
+	tr, _ := Build(s, nil)
+	groups := tr.Groups(1000)
+	if len(groups) != 1 {
+		t.Errorf("ncrit > N gives %d groups, want 1", len(groups))
+	}
+}
+
+// Property: tree invariants hold for random systems of random size.
+func TestBuildInvariantsProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 1 + r.Intn(300)
+		s := randomSystem(n, seed^0xabcdef)
+		tr, err := Build(s, &Options{LeafCap: 1 + r.Intn(16)})
+		if err != nil {
+			return false
+		}
+		return tr.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMortonOrderIsContiguous(t *testing.T) {
+	// After Build, each node's particles must be contiguous: verified
+	// implicitly by Validate, but also check that leaves cover [0, N).
+	s := randomSystem(777, 8)
+	tr, _ := Build(s, nil)
+	var total int32
+	for i := range tr.Nodes {
+		if tr.Nodes[i].Leaf {
+			total += tr.Nodes[i].Count
+		}
+	}
+	if total != 777 {
+		t.Errorf("leaf counts sum to %d", total)
+	}
+}
+
+func TestDepthReasonable(t *testing.T) {
+	s := randomSystem(4096, 9)
+	tr, _ := Build(s, &Options{LeafCap: 8})
+	d := tr.Depth()
+	if d < 3 || d > 21 {
+		t.Errorf("depth = %d for 4096 uniform-ish particles", d)
+	}
+}
+
+func TestMaxCornerDist(t *testing.T) {
+	b := vec.NewBox(vec.V3{}, vec.V3{X: 2, Y: 2, Z: 2})
+	// From the centre, farthest corner is sqrt(3).
+	if d := maxCornerDist(b, vec.V3{X: 1, Y: 1, Z: 1}); math.Abs(d-math.Sqrt(3)) > 1e-12 {
+		t.Errorf("centre corner dist = %v", d)
+	}
+	// From a corner, farthest corner is the full diagonal.
+	if d := maxCornerDist(b, vec.V3{}); math.Abs(d-2*math.Sqrt(3)) > 1e-12 {
+		t.Errorf("corner corner dist = %v", d)
+	}
+}
+
+func TestOpenCriterion(t *testing.T) {
+	n := &Node{Size: 1, Bmax: 2}
+	mac := OpenCriterion{Theta: 0.5}
+	// Accept requires d > s/θ = 2, i.e. d2 > 4.
+	if mac.Accept(n, 3.9) {
+		t.Error("accepted too close")
+	}
+	if !mac.Accept(n, 4.1) {
+		t.Error("rejected far cell")
+	}
+	bm := OpenCriterion{Theta: 0.5, UseBmax: true}
+	// With bmax=2 the threshold distance doubles: d2 > 16.
+	if bm.Accept(n, 15) {
+		t.Error("bmax accepted too close")
+	}
+	if !bm.Accept(n, 17) {
+		t.Error("bmax rejected far cell")
+	}
+	// θ=0 never accepts.
+	zero := OpenCriterion{Theta: 0}
+	if zero.Accept(n, 1e30) {
+		t.Error("θ=0 accepted a cell")
+	}
+}
+
+func TestInsertionTreeMatchesMortonTree(t *testing.T) {
+	s := randomSystem(512, 10)
+	ref, err := BuildInsertion(s.Clone(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Build(s, &Options{LeafCap: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ref.RootMass()-tr.Root().Mass) > 1e-9 {
+		t.Errorf("root mass: insertion %v vs morton %v", ref.RootMass(), tr.Root().Mass)
+	}
+	if ref.RootCOM().Sub(tr.Root().COM).Norm() > 1e-9 {
+		t.Errorf("root COM: insertion %v vs morton %v", ref.RootCOM(), tr.Root().COM)
+	}
+}
+
+func TestInsertionTreeLeafCount(t *testing.T) {
+	s := randomSystem(256, 11)
+	tr, err := BuildInsertion(s, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.CountLeaves() == 0 {
+		t.Error("no leaves")
+	}
+	// Every particle must be in exactly one leaf.
+	seen := make([]bool, s.N())
+	for i := range tr.Nodes {
+		n := &tr.Nodes[i]
+		if !n.leaf {
+			continue
+		}
+		for _, p := range n.particles {
+			if seen[p] {
+				t.Fatalf("particle %d in two leaves", p)
+			}
+			seen[p] = true
+		}
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Fatalf("particle %d lost", i)
+		}
+	}
+}
+
+func TestInsertionEmptyFails(t *testing.T) {
+	if _, err := BuildInsertion(nbody.New(0), 8); err == nil {
+		t.Error("empty insertion build should fail")
+	}
+}

@@ -1,0 +1,102 @@
+package perf
+
+import (
+	"repro/internal/core"
+	"repro/internal/g5"
+	"repro/internal/nbody"
+)
+
+// DirectStepModel returns the modelled time balance of one force step
+// computed by direct O(N²) summation on the GRAPE hardware — the
+// classic GRAPE workload (all particles loaded once into the particle
+// memory, i-particles swept in pipeline-sized chunks). It is the
+// baseline the paper's §1 motivates the treecode against: direct
+// summation wins at small N (no tree overhead, perfect pipelining) and
+// loses catastrophically at the paper's N.
+func DirectStepModel(n int, cfg g5.Config, host HostModel) (StepReport, error) {
+	sys, err := g5.NewSystem(cfg)
+	if err != nil {
+		return StepReport{}, err
+	}
+	if err := sys.SetScale(-1, 1); err != nil {
+		return StepReport{}, err
+	}
+	// One j-load of the whole system, then ceil(n/vp) pipeline sweeps —
+	// exactly what Driver.SetXMJ + chunked CalculateForceOnX charge.
+	vp := cfg.VirtualPipesPerBoard()
+	for lo := 0; lo < n; lo += vp {
+		hi := lo + vp
+		if hi > n {
+			hi = n
+		}
+		sys.ChargeOnly(hi-lo, n)
+	}
+	c := sys.Counters()
+	// ChargeOnly re-charges the j-upload per call; correct to a single
+	// upload by subtracting the duplicates.
+	sweeps := (n + vp - 1) / vp
+	dupJBytes := int64(sweeps-1) * int64(n) * int64(cfg.BytesPerJ)
+	busSeconds := c.BusSeconds - float64(dupJBytes)/cfg.BusBandwidth
+
+	// Host side: only per-particle integration work (no tree).
+	hostSeconds := host.ParticleCoeff * float64(n)
+	return StepReport{
+		HostSeconds:  hostSeconds,
+		PipeSeconds:  c.PipeSeconds,
+		BusSeconds:   busSeconds,
+		Interactions: int64(n) * int64(n-1),
+	}, nil
+}
+
+// TreeStepModel measures a real modified-treecode traversal over the
+// snapshot and models its step time — the other side of the crossover
+// comparison.
+func TreeStepModel(s *nbody.System, theta float64, ncrit int, cfg g5.Config, host HostModel) (StepReport, error) {
+	sys, err := g5.NewSystem(cfg)
+	if err != nil {
+		return StepReport{}, err
+	}
+	b := s.Bounds().Cube()
+	ext := b.MaxEdge()
+	if ext == 0 {
+		ext = 1
+	}
+	if err := sys.SetScale(b.Min.X-0.05*ext, b.Max.X+1.05*ext); err != nil {
+		return StepReport{}, err
+	}
+	tc := core.New(core.Options{Theta: theta, Ncrit: ncrit}, NewScheduleEngine(sys))
+	st, err := tc.ComputeForces(s.Clone())
+	if err != nil {
+		return StepReport{}, err
+	}
+	return ModelStep(host, st, sys.Counters()), nil
+}
+
+// CrossoverPoint is one N sample of the direct-vs-tree comparison.
+type CrossoverPoint struct {
+	N             int
+	DirectSeconds float64
+	TreeSeconds   float64
+}
+
+// Crossover evaluates both models over the given systems (assumed to be
+// the same model family at increasing N) and returns the per-N times.
+func Crossover(systems []*nbody.System, theta float64, ncrit int, cfg g5.Config, host HostModel) ([]CrossoverPoint, error) {
+	out := make([]CrossoverPoint, 0, len(systems))
+	for _, s := range systems {
+		d, err := DirectStepModel(s.N(), cfg, host)
+		if err != nil {
+			return nil, err
+		}
+		t, err := TreeStepModel(s, theta, ncrit, cfg, host)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, CrossoverPoint{
+			N:             s.N(),
+			DirectSeconds: d.TotalSeconds(),
+			TreeSeconds:   t.TotalSeconds(),
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,112 @@
+package perf
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/g5"
+	"repro/internal/nbody"
+	"repro/internal/rng"
+	"repro/internal/vec"
+)
+
+func TestScheduleEngineCounts(t *testing.T) {
+	sys, _ := g5.NewSystem(g5.DefaultConfig())
+	sys.SetScale(-10, 10)
+	e := NewScheduleEngine(sys)
+	req := &core.Request{
+		IPos:  make([]vec.V3, 5),
+		JPos:  make([]vec.V3, 7),
+		JMass: make([]float64, 7),
+		Acc:   make([]vec.V3, 5),
+		Pot:   make([]float64, 5),
+	}
+	e.Accumulate(req)
+	if c := e.System().Counters(); c.Interactions != 35 {
+		t.Errorf("interactions = %d, want 35", c.Interactions)
+	}
+	// No force output: accelerations stay zero.
+	for _, a := range req.Acc {
+		if a != vec.Zero {
+			t.Error("schedule engine wrote forces")
+		}
+	}
+}
+
+func TestScheduleEngineMatchesRealCounts(t *testing.T) {
+	// The schedule engine must report the same interaction count as a
+	// counting engine on the same traversal.
+	s := nbody.Plummer(2000, 1, 1, 1, rng.New(5))
+	ce := &core.CountEngine{}
+	st, err := core.New(core.Options{Theta: 0.75, Ncrit: 128}, ce).ComputeForces(s.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, _ := g5.NewSystem(g5.DefaultConfig())
+	sys.SetScale(-100, 100)
+	se := NewScheduleEngine(sys)
+	if _, err := core.New(core.Options{Theta: 0.75, Ncrit: 128}, se).ComputeForces(s.Clone()); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.Counters().Interactions; got != st.Interactions {
+		t.Errorf("schedule count %d != count engine %d", got, st.Interactions)
+	}
+}
+
+func TestNgSweepShape(t *testing.T) {
+	// The §3 trade-off on a small snapshot: host time decreases with
+	// n_g, GRAPE time increases, and the interactions are monotone.
+	s := nbody.Plummer(8000, 1, 1, 1, rng.New(9))
+	ncrits := []int{8, 64, 512, 4096}
+	points, err := NgSweep(s, 0.75, ncrits, DS10(), g5.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(ncrits) {
+		t.Fatalf("got %d points", len(points))
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i].Interactions <= points[i-1].Interactions {
+			t.Errorf("interactions not increasing: %d -> %d at ncrit %d",
+				points[i-1].Interactions, points[i].Interactions, points[i].Ncrit)
+		}
+		if points[i].Groups >= points[i-1].Groups {
+			t.Errorf("groups not decreasing at ncrit %d", points[i].Ncrit)
+		}
+	}
+	// Pipeline time is NOT monotone: groups smaller than the 96 virtual
+	// pipelines per board waste pipeline slots (ceil(n_i/96) padding), so
+	// hardware time first falls as groups fill the pipelines, then rises
+	// with the growing interaction count. Assert both regimes.
+	if points[0].Report.PipeSeconds <= points[1].Report.PipeSeconds {
+		t.Errorf("padding regime: pipe time should fall from ncrit=8 (%.4f s) to 64 (%.4f s)",
+			points[0].Report.PipeSeconds, points[1].Report.PipeSeconds)
+	}
+	pipeLast, pipePrev := points[len(points)-1].Report.PipeSeconds, points[len(points)-2].Report.PipeSeconds
+	if pipeLast <= pipePrev {
+		t.Errorf("interaction regime: pipe time should rise from ncrit=512 (%.4f s) to 4096 (%.4f s)",
+			pipePrev, pipeLast)
+	}
+	// Host walk share must shrink as n_g grows (that is the whole
+	// point of the modified algorithm).
+	first := points[0].Report.HostSeconds
+	last := points[len(points)-1].Report.HostSeconds
+	if last >= first {
+		t.Errorf("host time did not drop with n_g: %v -> %v", first, last)
+	}
+}
+
+func TestOptimum(t *testing.T) {
+	points := []SweepPoint{
+		{Ncrit: 10, Report: StepReport{HostSeconds: 10}},
+		{Ncrit: 100, Report: StepReport{HostSeconds: 3}},
+		{Ncrit: 1000, Report: StepReport{HostSeconds: 5}},
+	}
+	best := Optimum(points)
+	if best == nil || best.Ncrit != 100 {
+		t.Errorf("optimum = %+v", best)
+	}
+	if Optimum(nil) != nil {
+		t.Error("empty sweep should give nil")
+	}
+}

@@ -1,0 +1,186 @@
+// Package snapio reads and writes particle snapshots in a small
+// versioned binary format (little-endian, fixed header). The headline
+// run writes snapshots for restart and for the analysis tools
+// (cmd/snap2pgm, the correlation function, the paper's Figure 4).
+package snapio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"repro/internal/nbody"
+	"repro/internal/vec"
+)
+
+// Magic identifies snapshot files ("G5SN").
+const Magic = 0x4735534e
+
+// Version is the current format version.
+const Version = 1
+
+// Header precedes the particle payload.
+type Header struct {
+	// N is the particle count.
+	N int64
+	// Time is the simulation time (internal units).
+	Time float64
+	// Step is the integration step index.
+	Step int64
+	// Scale is the cosmological scale factor (0 for non-cosmological
+	// runs).
+	Scale float64
+	// Eps and Theta record the run parameters for provenance.
+	Eps, Theta float64
+}
+
+// Write stores the system and header to w.
+func Write(w io.Writer, h Header, s *nbody.System) error {
+	h.N = int64(s.N())
+	bw := bufio.NewWriterSize(w, 1<<20)
+	le := binary.LittleEndian
+
+	if err := binary.Write(bw, le, uint32(Magic)); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, le, uint32(Version)); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, le, h); err != nil {
+		return err
+	}
+	writeV3 := func(v []vec.V3) error {
+		for _, p := range v {
+			if err := binary.Write(bw, le, [3]float64{p.X, p.Y, p.Z}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := writeV3(s.Pos); err != nil {
+		return err
+	}
+	if err := writeV3(s.Vel); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, le, s.Mass); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, le, s.ID); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Read loads a snapshot from r.
+func Read(r io.Reader) (Header, *nbody.System, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	le := binary.LittleEndian
+	var magic, version uint32
+	if err := binary.Read(br, le, &magic); err != nil {
+		return Header{}, nil, fmt.Errorf("snapio: reading magic: %w", err)
+	}
+	if magic != Magic {
+		return Header{}, nil, fmt.Errorf("snapio: bad magic %#x", magic)
+	}
+	if err := binary.Read(br, le, &version); err != nil {
+		return Header{}, nil, err
+	}
+	if version != Version {
+		return Header{}, nil, fmt.Errorf("snapio: unsupported version %d", version)
+	}
+	var h Header
+	if err := binary.Read(br, le, &h); err != nil {
+		return Header{}, nil, err
+	}
+	if h.N < 0 || h.N > 1<<31 {
+		return Header{}, nil, fmt.Errorf("snapio: implausible particle count %d", h.N)
+	}
+	// Grow arrays as data actually arrives rather than trusting the
+	// header's N up front: a forged header must fail with an error, not
+	// a multi-gigabyte allocation.
+	n := int(h.N)
+	const chunk = 1 << 16
+	pre := n
+	if pre > chunk {
+		pre = chunk
+	}
+	readV3s := func(what string) ([]vec.V3, error) {
+		out := make([]vec.V3, 0, pre)
+		var raw [24]byte
+		for i := 0; i < n; i++ {
+			if _, err := io.ReadFull(br, raw[:]); err != nil {
+				return nil, fmt.Errorf("snapio: %s: %w", what, err)
+			}
+			out = append(out, vec.V3{
+				X: math.Float64frombits(le.Uint64(raw[0:])),
+				Y: math.Float64frombits(le.Uint64(raw[8:])),
+				Z: math.Float64frombits(le.Uint64(raw[16:])),
+			})
+		}
+		return out, nil
+	}
+	pos, err := readV3s("positions")
+	if err != nil {
+		return Header{}, nil, err
+	}
+	velv, err := readV3s("velocities")
+	if err != nil {
+		return Header{}, nil, err
+	}
+	mass := make([]float64, 0, pre)
+	{
+		var raw [8]byte
+		for i := 0; i < n; i++ {
+			if _, err := io.ReadFull(br, raw[:]); err != nil {
+				return Header{}, nil, fmt.Errorf("snapio: masses: %w", err)
+			}
+			mass = append(mass, math.Float64frombits(le.Uint64(raw[:])))
+		}
+	}
+	id := make([]int64, 0, pre)
+	{
+		var raw [8]byte
+		for i := 0; i < n; i++ {
+			if _, err := io.ReadFull(br, raw[:]); err != nil {
+				return Header{}, nil, fmt.Errorf("snapio: ids: %w", err)
+			}
+			id = append(id, int64(le.Uint64(raw[:])))
+		}
+	}
+	s := &nbody.System{
+		Pos:  pos,
+		Vel:  velv,
+		Acc:  make([]vec.V3, n),
+		Mass: mass,
+		Pot:  make([]float64, n),
+		ID:   id,
+	}
+	return h, s, nil
+}
+
+// WriteFile writes a snapshot to the named file.
+func WriteFile(path string, h Header, s *nbody.System) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, h, s); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile loads a snapshot from the named file.
+func ReadFile(path string) (Header, *nbody.System, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Header{}, nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

@@ -1,0 +1,100 @@
+package snapio
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/nbody"
+	"repro/internal/rng"
+)
+
+func sample(n int, seed uint64) *nbody.System {
+	return nbody.Plummer(n, 1, 1, 1, rng.New(seed))
+}
+
+func TestRoundTrip(t *testing.T) {
+	s := sample(500, 1)
+	h := Header{Time: 1.5, Step: 42, Scale: 0.25, Eps: 0.01, Theta: 0.75}
+	var buf bytes.Buffer
+	if err := Write(&buf, h, s); err != nil {
+		t.Fatal(err)
+	}
+	h2, s2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.N != 500 || h2.Time != 1.5 || h2.Step != 42 || h2.Scale != 0.25 ||
+		h2.Eps != 0.01 || h2.Theta != 0.75 {
+		t.Errorf("header = %+v", h2)
+	}
+	for i := range s.Pos {
+		if s.Pos[i] != s2.Pos[i] || s.Vel[i] != s2.Vel[i] ||
+			s.Mass[i] != s2.Mass[i] || s.ID[i] != s2.ID[i] {
+			t.Fatalf("particle %d mismatch", i)
+		}
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	s := sample(100, 2)
+	path := filepath.Join(t.TempDir(), "snap.g5")
+	if err := WriteFile(path, Header{Time: 2}, s); err != nil {
+		t.Fatal(err)
+	}
+	h, s2, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Time != 2 || s2.N() != 100 {
+		t.Errorf("h=%+v n=%d", h, s2.N())
+	}
+}
+
+func TestReadRejectsBadMagic(t *testing.T) {
+	if _, _, err := Read(bytes.NewReader([]byte("not a snapshot file at all"))); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestReadRejectsTruncated(t *testing.T) {
+	s := sample(50, 3)
+	var buf bytes.Buffer
+	if err := Write(&buf, Header{}, s); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, cut := range []int{3, 8, 40, len(data) / 2, len(data) - 1} {
+		if _, _, err := Read(bytes.NewReader(data[:cut])); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestReadRejectsWrongVersion(t *testing.T) {
+	s := sample(10, 4)
+	var buf bytes.Buffer
+	if err := Write(&buf, Header{}, s); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[4] = 99 // version byte
+	if _, _, err := Read(bytes.NewReader(data)); err == nil {
+		t.Error("future version accepted")
+	}
+}
+
+func TestEmptySystemRoundTrip(t *testing.T) {
+	s := nbody.New(0)
+	var buf bytes.Buffer
+	if err := Write(&buf, Header{}, s); err != nil {
+		t.Fatal(err)
+	}
+	_, s2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.N() != 0 {
+		t.Errorf("N = %d", s2.N())
+	}
+}

@@ -1,0 +1,281 @@
+package grape5
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/g5"
+	"repro/internal/integrate"
+	"repro/internal/nbody"
+	"repro/internal/pm"
+	"repro/internal/units"
+)
+
+// System is the particle container (structure-of-arrays positions,
+// velocities, masses, stable IDs).
+type System = nbody.System
+
+// Stats reports the treecode work of one force evaluation.
+type Stats = core.Stats
+
+// EngineKind selects the force pipeline.
+type EngineKind int
+
+const (
+	// EngineHost computes forces in float64 on the host — the paper's
+	// "general purpose computer" baseline.
+	EngineHost EngineKind = iota
+	// EngineGRAPE5 offloads force evaluation to the emulated GRAPE-5.
+	EngineGRAPE5
+	// EnginePM replaces the treecode entirely with the particle-mesh
+	// solver (isolated boundaries) — the classical fast baseline
+	// algorithm. Theta/Ncrit are ignored; PMGrid sets the mesh. The
+	// solver box tracks the system bounds each step, which adds
+	// mesh-scale force noise on expanding systems; EnginePM is meant
+	// for force comparisons and quick looks, not production cosmology.
+	EnginePM
+)
+
+// Config describes a simulation.
+type Config struct {
+	// Theta is the Barnes-Hut opening parameter (default 0.75).
+	Theta float64
+	// Ncrit is the group-size bound of the modified tree algorithm
+	// (the paper's n_g; default 2000).
+	Ncrit int
+	// LeafCap is the octree leaf capacity (default 8).
+	LeafCap int
+	// G is the gravitational constant (default units.G, the
+	// Mpc/(km/s)/1e10-Msun system; set 1 for model-unit problems).
+	G float64
+	// Eps is the Plummer softening length.
+	Eps float64
+	// DT is the integration timestep.
+	DT float64
+	// Engine selects host or GRAPE-5 force evaluation.
+	Engine EngineKind
+	// GRAPE configures the hardware when Engine is EngineGRAPE5; the
+	// zero value means g5.DefaultConfig (the paper's 2-board system).
+	GRAPE g5.Config
+	// PMGrid is the particle-mesh size per dimension for EnginePM
+	// (default 64; power of two).
+	PMGrid int
+	// RebuildEvery enables tree reuse: full rebuild every n-th force
+	// call with centre-of-mass refreshes in between (0/1 = rebuild
+	// always, the paper's mode).
+	RebuildEvery int
+	// Workers bounds traversal parallelism (0 = GOMAXPROCS).
+	Workers int
+}
+
+// Simulation couples a System to the treecode, a force engine and a
+// leapfrog integrator.
+type Simulation struct {
+	// Sys is the particle system (reordered into tree order by every
+	// force evaluation; identity is in Sys.ID).
+	Sys *System
+
+	cfg    Config
+	tc     *core.Treecode
+	hw     *g5.System // nil for host engine
+	lf     *integrate.Leapfrog
+	time   float64
+	nsteps int
+
+	// LastStats is the treecode statistics of the most recent force
+	// evaluation.
+	LastStats Stats
+	// TotalInteractions accumulates pairwise interactions over the run.
+	TotalInteractions int64
+}
+
+// NewSimulation builds a simulation over sys. sys is used in place (not
+// copied).
+func NewSimulation(sys *System, cfg Config) (*Simulation, error) {
+	if sys == nil || sys.N() == 0 {
+		return nil, fmt.Errorf("grape5: empty system")
+	}
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.DT <= 0 {
+		return nil, fmt.Errorf("grape5: timestep must be positive, got %v", cfg.DT)
+	}
+	if cfg.G == 0 {
+		cfg.G = units.G
+	}
+
+	opt := core.Options{
+		Theta:        cfg.Theta,
+		Ncrit:        cfg.Ncrit,
+		LeafCap:      cfg.LeafCap,
+		G:            cfg.G,
+		Eps:          cfg.Eps,
+		Workers:      cfg.Workers,
+		RebuildEvery: cfg.RebuildEvery,
+	}
+
+	sim := &Simulation{Sys: sys, cfg: cfg}
+	var engine core.Engine
+	switch cfg.Engine {
+	case EngineHost:
+		engine = &core.HostEngine{G: cfg.G, Eps: cfg.Eps}
+	case EngineGRAPE5:
+		hwCfg := cfg.GRAPE
+		if hwCfg.Boards == 0 {
+			hwCfg = g5.DefaultConfig()
+		}
+		hw, err := g5.NewSystem(hwCfg)
+		if err != nil {
+			return nil, err
+		}
+		hw.SetEps(cfg.Eps)
+		sim.hw = hw
+		engine = g5.NewEngine(hw, cfg.G)
+	case EnginePM:
+		if cfg.PMGrid == 0 {
+			cfg.PMGrid = 64
+		}
+		sim.cfg = cfg
+		// Solver is rebuilt per force call on the current bounds (the
+		// sphere expands ~25x over a cosmological run).
+	default:
+		return nil, fmt.Errorf("grape5: unknown engine kind %d", cfg.Engine)
+	}
+	if cfg.Engine != EnginePM {
+		sim.tc = core.New(opt, engine)
+	}
+
+	forceFn := sim.force
+	if cfg.Engine == EnginePM {
+		forceFn = sim.forcePM
+	}
+	lf, err := integrate.NewLeapfrog(cfg.DT, forceFn)
+	if err != nil {
+		return nil, err
+	}
+	sim.lf = lf
+	return sim, nil
+}
+
+// forcePM is the ForceFunc for the particle-mesh engine.
+func (sim *Simulation) forcePM(s *System) error {
+	cube := s.Bounds().Cube()
+	ext := cube.MaxEdge()
+	if ext == 0 {
+		ext = 1
+	}
+	grow := 0.05 * ext
+	box := cube
+	box.Min = box.Min.Sub(Vec3{X: grow, Y: grow, Z: grow})
+	box.Max = box.Max.Add(Vec3{X: grow, Y: grow, Z: grow})
+	solver, err := pm.NewSolver(sim.cfg.PMGrid, box, sim.cfg.G)
+	if err != nil {
+		return err
+	}
+	if err := solver.Forces(s); err != nil {
+		return err
+	}
+	sim.LastStats = Stats{N: s.N()}
+	return nil
+}
+
+// force is the integrator's ForceFunc: rescale the hardware if present,
+// run the grouped treecode, record statistics.
+func (sim *Simulation) force(s *System) error {
+	if sim.hw != nil {
+		// The host re-ranges the fixed-point window every step, exactly
+		// like the real GRAPE library: the sphere expands by ~25x over
+		// the headline run.
+		cube := s.Bounds().Cube()
+		ext := cube.MaxEdge()
+		if ext == 0 {
+			ext = 1
+		}
+		// Margin for the drift within the step.
+		lo := cube.Min.X - 0.05*ext
+		hi := cube.Max.X + 0.05*ext
+		if err := sim.hw.SetScale(min3(lo, cube.Min.Y-0.05*ext, cube.Min.Z-0.05*ext),
+			max3(hi, cube.Max.Y+0.05*ext, cube.Max.Z+0.05*ext)); err != nil {
+			return err
+		}
+	}
+	st, err := sim.tc.ComputeForces(s)
+	if err != nil {
+		return err
+	}
+	sim.LastStats = *st
+	sim.TotalInteractions += st.Interactions
+	return nil
+}
+
+func min3(a, b, c float64) float64 {
+	m := a
+	if b < m {
+		m = b
+	}
+	if c < m {
+		m = c
+	}
+	return m
+}
+
+func max3(a, b, c float64) float64 {
+	m := a
+	if b > m {
+		m = b
+	}
+	if c > m {
+		m = c
+	}
+	return m
+}
+
+// Prime computes initial forces (optional; Step does it on first call).
+func (sim *Simulation) Prime() error { return sim.lf.Prime(sim.Sys) }
+
+// Step advances one leapfrog step.
+func (sim *Simulation) Step() error {
+	if err := sim.lf.Step(sim.Sys); err != nil {
+		return err
+	}
+	sim.time += sim.cfg.DT
+	sim.nsteps++
+	return nil
+}
+
+// Run advances n steps.
+func (sim *Simulation) Run(n int) error {
+	for k := 0; k < n; k++ {
+		if err := sim.Step(); err != nil {
+			return fmt.Errorf("grape5: step %d: %w", sim.nsteps, err)
+		}
+	}
+	return nil
+}
+
+// Time returns the elapsed simulation time.
+func (sim *Simulation) Time() float64 { return sim.time }
+
+// Steps returns the number of completed steps.
+func (sim *Simulation) Steps() int { return sim.nsteps }
+
+// Energy returns the current energy using the engine-filled potentials
+// (valid after at least one force evaluation).
+func (sim *Simulation) Energy() analysis.EnergyReport {
+	return analysis.EnergyFromPotentials(sim.Sys)
+}
+
+// HardwareCounters returns the emulated GRAPE-5 activity counters, or a
+// zero value for host-engine simulations.
+func (sim *Simulation) HardwareCounters() g5.Counters {
+	if sim.hw == nil {
+		return g5.Counters{}
+	}
+	return sim.hw.Counters()
+}
+
+// Hardware returns the emulated GRAPE-5 system, or nil for host-engine
+// simulations.
+func (sim *Simulation) Hardware() *g5.System { return sim.hw }
