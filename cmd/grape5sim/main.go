@@ -20,6 +20,7 @@ import (
 
 	grape5 "repro"
 	"repro/internal/analysis"
+	"repro/internal/g5"
 	"repro/internal/perf"
 	"repro/internal/snapio"
 	"repro/internal/units"
@@ -49,6 +50,19 @@ func main() {
 		every  = flag.Int("every", 0, "snapshot interval in steps (0 = final only when -snap set)")
 		report = flag.Int("report", 10, "print statistics every this many steps")
 		csvLog = flag.String("log", "", "write per-step statistics to this CSV file")
+
+		// Fault injection and the fault-tolerant offload path (grape5
+		// engine only). Rates are per-hardware-call probabilities.
+		faultSeed   = flag.Uint64("fault-seed", 1, "fault injector seed (deterministic)")
+		faultFlip   = flag.Float64("fault-bitflip", 0, "j-memory bit-flip rate")
+		faultStuck  = flag.Float64("fault-stuck", 0, "stuck virtual-pipeline rate")
+		faultBus    = flag.Float64("fault-bus", 0, "bus transfer-error rate")
+		faultTrans  = flag.Float64("fault-transient", 0, "transient compute-failure rate")
+		failBoard   = flag.Int("fail-board", 0, "board (1-based) that dies mid-run; 0 = none")
+		failAfter   = flag.Int64("fail-after", 0, "hardware calls the failing board survives")
+		failSlot    = flag.Int("fail-slot", 0, "virtual-pipeline slot that sticks on the failing board")
+		guard       = flag.Bool("guard", false, "run the fault-tolerant offload path (verify, retry, degrade, fall back)")
+		checkForces = flag.Bool("check-forces", false, "recompute final forces with the host engine and report the RMS error")
 	)
 	flag.Parse()
 
@@ -64,6 +78,30 @@ func main() {
 	default:
 		log.Fatalf("unknown engine %q", *engine)
 	}
+
+	faultsOn := *faultFlip > 0 || *faultStuck > 0 || *faultBus > 0 ||
+		*faultTrans > 0 || *failBoard > 0
+	if (faultsOn || *guard) && cfg.Engine != grape5.EngineGRAPE5 {
+		log.Fatal("fault injection and -guard require -engine grape5")
+	}
+	if faultsOn {
+		hwCfg := g5.DefaultConfig()
+		hwCfg.Fault = &g5.FaultModel{
+			Seed:            *faultSeed,
+			JMemBitFlipRate: *faultFlip,
+			StuckPipeRate:   *faultStuck,
+			BusErrorRate:    *faultBus,
+			TransientRate:   *faultTrans,
+			FailBoard:       *failBoard,
+			FailAfterRuns:   *failAfter,
+			FailSlot:        *failSlot,
+		}
+		cfg.GRAPE = hwCfg
+		if !*guard {
+			fmt.Println("note: injecting faults without -guard; corruption goes undetected")
+		}
+	}
+	cfg.Guard = *guard
 
 	var sys *grape5.System
 	scale := 0.0
@@ -242,6 +280,43 @@ func main() {
 		}
 		fmt.Printf("hardware-side sustained speed: %.3g Gflops of %.4g peak\n",
 			gb.RawFlops()/1e9, hwCfg.PeakFlops()/1e9)
+	}
+	if fs := sim.FaultStats(); fs != (g5.FaultStats{}) {
+		fmt.Printf("injected faults: bitflips=%d stuck-pipe-calls=%d bus=%d transient=%d\n",
+			fs.JMemBitFlips, fs.StuckPipeCalls, fs.BusErrors, fs.Transients)
+	}
+	if *guard {
+		fmt.Printf("recovery: %s\n", sim.Recovery())
+		fmt.Printf("boards in service: %d of %d\n",
+			sim.Hardware().ActiveBoards(), sim.Hardware().Config().Boards)
+	}
+
+	if *checkForces {
+		ref := sim.Sys.Clone()
+		refCfg := cfg
+		refCfg.Engine = grape5.EngineHost
+		refCfg.Guard = false
+		refCfg.GRAPE = g5.Config{}
+		refSim, err := grape5.NewSimulation(ref, refCfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := refSim.Prime(); err != nil {
+			log.Fatal(err)
+		}
+		// Both systems were reordered by their tree builds; match by ID.
+		refAcc := make(map[int64]grape5.Vec3, ref.N())
+		for i := range ref.ID {
+			refAcc[ref.ID[i]] = ref.Acc[i]
+		}
+		var num, den float64
+		for i := range sim.Sys.ID {
+			ra := refAcc[sim.Sys.ID[i]]
+			num += sim.Sys.Acc[i].Sub(ra).Norm2()
+			den += ra.Norm2()
+		}
+		fmt.Printf("final-snapshot RMS force error vs host engine: %.4g%%\n",
+			100*math.Sqrt(num/den))
 	}
 
 	// Final structure summary.

@@ -24,6 +24,7 @@ import (
 	"strings"
 	"time"
 
+	grape5 "repro"
 	"repro/internal/core"
 	"repro/internal/cosmo"
 	"repro/internal/g5"
@@ -44,6 +45,7 @@ func main() {
 		ncrit  = flag.Int("ncrit", 2000, "group bound n_g (paper optimum)")
 		seed   = flag.Uint64("seed", 1, "IC seed")
 		epochs = flag.String("epochs", "", "comma-separated redshifts: measure a Zel'dovich realisation at each and average the per-step model over them (approximates the paper's run average), e.g. 24,9,4,1.5,0")
+		faults = flag.Bool("faults", false, "append E9: degraded-mode offload with an injected board failure")
 	)
 	flag.Parse()
 
@@ -179,6 +181,48 @@ func main() {
 	// Paper cross-check from its own totals.
 	fmt.Printf("\n== paper's own totals re-derived (arithmetic check) ==\n")
 	fmt.Printf("%s\n", perf.PaperGordonBell().String())
+
+	if *faults {
+		reportDegraded(host, *theta, *seed)
+	}
+}
+
+// reportDegraded is E9: drive the fault-tolerant offload path while one
+// board dies mid-run, and show the timing-model degradation (pipe time
+// roughly doubles when the 2-board system drops to 1) next to the
+// guard's recovery counters.
+func reportDegraded(host perf.HostModel, theta float64, seed uint64) {
+	fmt.Printf("\n== E9: degraded-mode offload (board 2 dies mid-run) ==\n")
+	sys := grape5.Plummer(4000, 1, 1, 1, seed)
+	fCfg := g5.DefaultConfig()
+	fCfg.Fault = &g5.FaultModel{Seed: 7, FailBoard: 2, FailAfterRuns: 200, FailSlot: 11}
+	hw, err := g5.NewSystem(fCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := hw.SetEps(0.02); err != nil {
+		log.Fatal(err)
+	}
+	eng := g5.NewGuardedEngine(hw, 1, g5.GuardPolicy{})
+	tc := core.New(core.Options{Theta: theta, Ncrit: 500, G: 1, Eps: 0.02}, eng)
+	for step := 1; step <= 6; step++ {
+		b := sys.Bounds().Cube()
+		ext := b.MaxEdge()
+		if err := hw.SetScale(b.Min.X-0.05*ext, b.Max.X+0.05*ext); err != nil {
+			log.Fatal(err)
+		}
+		hw.ResetCounters()
+		st, err := tc.ComputeForces(sys)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep := perf.ModelStepRecovery(host, st, hw.Counters(), eng.Recovery())
+		fmt.Printf("step %d: boards=%d pipe=%.4gs bus=%.4gs  %s\n",
+			step, hw.ActiveBoards(), rep.PipeSeconds, rep.BusSeconds, rep.Recovery)
+	}
+	fs := hw.FaultStats()
+	fmt.Printf("injected faults: bitflips=%d stuck-pipe-calls=%d bus=%d transient=%d\n",
+		fs.JMemBitFlips, fs.StuckPipeCalls, fs.BusErrors, fs.Transients)
 }
 
 // realizeAt generates a Zel'dovich realisation of the paper's sphere at

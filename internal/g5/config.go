@@ -72,6 +72,12 @@ type Config struct {
 	// range instead of clamping them (clamping is what the hardware
 	// does; strict mode is for catching host-code bugs).
 	StrictRange bool
+
+	// Fault, when non-nil, injects seeded deterministic hardware
+	// faults (j-memory bit flips, stuck pipelines, bus errors,
+	// transient failures) into every Compute call. Nil means a perfect
+	// device.
+	Fault *FaultModel
 }
 
 // DefaultConfig returns the configuration of the paper's 2-board
@@ -115,6 +121,11 @@ func (c Config) Validate() error {
 		return fmt.Errorf("g5: BusBandwidth must be positive")
 	case c.OpsPerInteraction < 1:
 		return fmt.Errorf("g5: OpsPerInteraction must be >= 1")
+	}
+	if c.Fault != nil {
+		if err := c.Fault.validate(c); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -60,13 +60,13 @@ func (d *Driver) SetRange(xmin, xmax float64) error {
 	return d.sys.SetScale(xmin, xmax)
 }
 
-// SetEpsToAll mirrors g5_set_eps_to_all.
+// SetEpsToAll mirrors g5_set_eps_to_all. NaN, negative and infinite
+// softening are rejected.
 func (d *Driver) SetEpsToAll(eps float64) error {
 	if !d.open {
 		return fmt.Errorf("g5: driver closed")
 	}
-	d.sys.SetEps(eps)
-	return nil
+	return d.sys.SetEps(eps)
 }
 
 // SetXMJ mirrors g5_set_xmj: writes n j-particles starting at memory

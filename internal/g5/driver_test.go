@@ -170,3 +170,59 @@ func TestDriverNoJLoaded(t *testing.T) {
 		t.Error("compute without loaded j-set accepted")
 	}
 }
+
+// TestDriverGapWrite: a write starting beyond the current NJ must
+// materialise the skipped addresses as zero-mass particles at the
+// origin — they contribute nothing to forces, but they do count toward
+// NJ, exactly like uninitialised particle memory on the real board.
+func TestDriverGapWrite(t *testing.T) {
+	d := openTestDriver(t)
+	d.SetEpsToAll(0)
+	if err := d.SetXMJ(4, []vec.V3{{X: 1}, {X: 2}}, []float64{1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if d.NJ() != 6 {
+		t.Fatalf("NJ after gap write = %d, want 6", d.NJ())
+	}
+	acc := make([]vec.V3, 1)
+	pot := make([]float64, 1)
+	if err := d.CalculateForceOnX([]vec.V3{{X: -1}}, acc, pot); err != nil {
+		t.Fatal(err)
+	}
+	// Only the two real sources act: a = 1/4 + 1/9; the four implicit
+	// zero-mass origin particles contribute nothing.
+	want := 1.0/4 + 1.0/9
+	if math.Abs(acc[0].X-want) > want*0.01 {
+		t.Errorf("acc with gap = %v, want ~%v", acc[0].X, want)
+	}
+	if pot[0] >= 0 {
+		t.Errorf("pot = %v, want negative from the two real sources", pot[0])
+	}
+	// Filling the gap afterwards behaves like any in-place update.
+	if err := d.SetXMJ(0, make([]vec.V3, 4), make([]float64, 4)); err != nil {
+		t.Errorf("backfilling the gap failed: %v", err)
+	}
+	if d.NJ() != 6 {
+		t.Errorf("NJ after backfill = %d, want 6", d.NJ())
+	}
+}
+
+// TestDriverUseAfterClose: every data-path call must fail cleanly on a
+// closed driver, and Close must be idempotent.
+func TestDriverUseAfterClose(t *testing.T) {
+	d := openTestDriver(t)
+	if err := d.SetXMJ(0, []vec.V3{{X: 1}}, []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+	d.Close() // idempotent
+	if err := d.SetXMJ(0, []vec.V3{{X: 1}}, []float64{1}); err == nil {
+		t.Error("SetXMJ accepted after Close")
+	}
+	if err := d.CalculateForceOnX([]vec.V3{{}}, make([]vec.V3, 1), make([]float64, 1)); err == nil {
+		t.Error("CalculateForceOnX accepted after Close")
+	}
+	if d.NJ() != 0 {
+		t.Errorf("NJ after Close = %d, want 0 (memory released)", d.NJ())
+	}
+}

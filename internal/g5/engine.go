@@ -1,6 +1,7 @@
 package g5
 
 import (
+	"errors"
 	"sync"
 
 	"repro/internal/core"
@@ -42,9 +43,11 @@ func NewEngine(sys *System, g float64) *Engine {
 func (e *Engine) System() *System { return e.sys }
 
 // Accumulate implements core.Engine by dispatching the request to the
-// hardware. Hardware errors panic: by the time requests are flowing the
-// host code has already validated scale and ranges, so an error here is
-// a programming bug, like a wedged device driver.
+// hardware. Hardware errors panic with a *HardwareError: by the time
+// requests are flowing the host code has already validated scale and
+// ranges, so an error here is a programming bug, like a wedged device
+// driver. Callers that must survive flaky hardware use GuardedEngine
+// instead, which retries, degrades and falls back rather than dying.
 func (e *Engine) Accumulate(req *core.Request) {
 	ni := len(req.IPos)
 	sc := e.pool.Get().(*scratch)
@@ -63,7 +66,11 @@ func (e *Engine) Accumulate(req *core.Request) {
 	err := e.sys.Compute(req.IPos, req.JPos, req.JMass, acc, pot)
 	e.mu.Unlock()
 	if err != nil {
-		panic("g5: hardware compute failed: " + err.Error())
+		var hw *HardwareError
+		if !errors.As(err, &hw) {
+			hw = &HardwareError{Op: "compute", Err: err}
+		}
+		panic(hw)
 	}
 
 	for i := range acc {

@@ -1,7 +1,6 @@
 package g5
 
 import (
-	"strings"
 	"testing"
 
 	"repro/internal/core"
@@ -66,7 +65,9 @@ func TestJMemChunkingPreservesForces(t *testing.T) {
 
 // TestEnginePanicsOnHardwareFault: a strict-range system fed an
 // out-of-range position must surface as a panic through the engine
-// (driver-bug semantics), not silent corruption.
+// (driver-bug semantics), not silent corruption — and the panic value
+// must be the typed *HardwareError so recovery code can distinguish
+// driver bugs from injected faults without string matching.
 func TestEnginePanicsOnHardwareFault(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.StrictRange = true
@@ -80,8 +81,12 @@ func TestEnginePanicsOnHardwareFault(t *testing.T) {
 		if r == nil {
 			t.Fatal("no panic on hardware fault")
 		}
-		if !strings.Contains(r.(string), "hardware compute failed") {
-			t.Fatalf("unexpected panic: %v", r)
+		hw, ok := r.(*HardwareError)
+		if !ok {
+			t.Fatalf("panic value %T, want *HardwareError", r)
+		}
+		if hw.Transient {
+			t.Errorf("driver bug marked transient: %v", hw)
 		}
 	}()
 	e.Accumulate(&core.Request{

@@ -34,8 +34,8 @@ type Counters struct {
 func (c Counters) HWSeconds() float64 { return c.PipeSeconds + c.BusSeconds }
 
 // Flops returns the accumulated operation count under the
-// ops-per-interaction convention.
-func (c Counters) flops(opsPerInteraction int) float64 {
+// ops-per-interaction convention (38 for the paper's accounting).
+func (c Counters) Flops(opsPerInteraction int) float64 {
 	return float64(c.Interactions) * float64(opsPerInteraction)
 }
 
@@ -48,7 +48,16 @@ type System struct {
 	// scale state (g5_set_range in the real library)
 	haveScale bool
 	grid      FixedGrid
+	eps       float64
 	eps2      float64
+
+	// excluded marks boards the host has taken out of service;
+	// nActive is the count still serving (board exclusion is the
+	// routine repair operation of the GRAPE cluster papers).
+	excluded []bool
+	nActive  int
+
+	fault *faultInjector // nil without a fault model
 
 	cnt Counters
 }
@@ -58,7 +67,11 @@ func NewSystem(cfg Config) (*System, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &System{cfg: cfg}, nil
+	s := &System{cfg: cfg, excluded: make([]bool, cfg.Boards), nActive: cfg.Boards}
+	if cfg.Fault != nil && cfg.Fault.enabled() {
+		s.fault = newFaultInjector(*cfg.Fault, cfg)
+	}
+	return s, nil
 }
 
 // Config returns the system's configuration.
@@ -84,9 +97,76 @@ func (s *System) SetScale(min, max float64) error {
 }
 
 // SetEps sets the Plummer softening length used by the pipelines
-// (GRAPE-5 applies one global softening per run).
-func (s *System) SetEps(eps float64) {
+// (GRAPE-5 applies one global softening per run). Like SetScale, it
+// rejects values the hardware register cannot mean: NaN, negative and
+// infinite softening all fail, leaving the previous value in place.
+func (s *System) SetEps(eps float64) error {
+	if math.IsNaN(eps) || eps < 0 || math.IsInf(eps, 0) {
+		return fmt.Errorf("g5: invalid softening %v", eps)
+	}
+	s.eps = eps
 	s.eps2 = eps * eps
+	return nil
+}
+
+// Eps returns the current softening length.
+func (s *System) Eps() float64 { return s.eps }
+
+// ScaleRange returns the active fixed-point coordinate window set by
+// SetScale, with ok=false before the first SetScale.
+func (s *System) ScaleRange() (min, max float64, ok bool) {
+	if !s.haveScale {
+		return 0, 0, false
+	}
+	return s.grid.Min, s.grid.Max, true
+}
+
+// FaultStats returns the injected-fault activity counters (all zero
+// without a fault model).
+func (s *System) FaultStats() FaultStats {
+	if s.fault == nil {
+		return FaultStats{}
+	}
+	return s.fault.stats
+}
+
+// SetBoardExcluded marks board b (0-based) out of or back into
+// service. Remaining work is re-planned on the surviving boards: the
+// timing model streams j through fewer pipelines and the particle
+// memory shrinks accordingly, so throughput degrades the way
+// TestMorePipesFasterModel says it must.
+func (s *System) SetBoardExcluded(b int, exclude bool) error {
+	if b < 0 || b >= s.cfg.Boards {
+		return fmt.Errorf("g5: board %d outside [0, %d)", b, s.cfg.Boards)
+	}
+	if s.excluded[b] != exclude {
+		s.excluded[b] = exclude
+		if exclude {
+			s.nActive--
+		} else {
+			s.nActive++
+		}
+	}
+	return nil
+}
+
+// BoardExcluded reports whether board b is out of service.
+func (s *System) BoardExcluded(b int) bool {
+	return b >= 0 && b < s.cfg.Boards && s.excluded[b]
+}
+
+// ActiveBoards returns the number of boards still in service.
+func (s *System) ActiveBoards() int { return s.nActive }
+
+// activeBoardList returns the 0-based indices of in-service boards.
+func (s *System) activeBoardList() []int {
+	out := make([]int, 0, s.nActive)
+	for b, ex := range s.excluded {
+		if !ex {
+			out = append(out, b)
+		}
+	}
+	return out
 }
 
 // Compute runs the hardware on one batch: the accelerations and
@@ -116,6 +196,19 @@ func (s *System) compute(ipos, jpos []vec.V3, jmass []float64, acc []vec.V3, pot
 	if ni == 0 || nj == 0 {
 		return nil
 	}
+	if s.nActive == 0 {
+		return &HardwareError{Op: "compute",
+			Err: fmt.Errorf("all %d boards excluded from service", s.cfg.Boards)}
+	}
+
+	// --- Fault injection --------------------------------------------
+	plan := faultPlan{flipJ: -1}
+	if s.fault != nil {
+		plan = s.fault.plan(nj, s.activeBoardList())
+		if plan.err != nil {
+			return plan.err
+		}
+	}
 
 	// --- Functional model -------------------------------------------
 	iq, err := s.quantizePositions(ipos)
@@ -129,6 +222,37 @@ func (s *System) compute(ipos, jpos []vec.V3, jmass []float64, acc []vec.V3, pot
 	mq := make([]float64, nj)
 	for j, m := range jmass {
 		mq[j] = RoundMantissa(m, s.cfg.MassBits)
+	}
+	if plan.flipJ >= 0 {
+		// A corrupted word read back from the particle memory.
+		if plan.flipMass {
+			mq[plan.flipJ] = flipMantissaBit(mq[plan.flipJ], plan.flipBit)
+		} else {
+			p := &jq[plan.flipJ]
+			switch plan.flipAxis {
+			case 0:
+				p.X = flipMantissaBit(p.X, plan.flipBit)
+			case 1:
+				p.Y = flipMantissaBit(p.Y, plan.flipBit)
+			default:
+				p.Z = flipMantissaBit(p.Z, plan.flipBit)
+			}
+		}
+	}
+	// A stuck virtual pipeline zeroes the owning board's partial force
+	// for every i-slot it serves; the host sums per-board partials, so
+	// the affected i lose that board's 1/nActive share of j.
+	var stuckFactor []float64
+	if len(plan.stuck) > 0 {
+		vps := s.cfg.VirtualPipesPerBoard()
+		stuckFactor = make([]float64, vps)
+		for i := range stuckFactor {
+			stuckFactor[i] = 1
+		}
+		share := 1 / float64(s.nActive)
+		for _, sp := range plan.stuck {
+			stuckFactor[sp.slot] *= 1 - share
+		}
 	}
 	pb := s.cfg.PipeBits
 	r2b := s.cfg.R2Bits
@@ -152,6 +276,10 @@ func (s *System) compute(ipos, jpos []vec.V3, jmass []float64, acc []vec.V3, pot
 			ay += RoundMantissa(ff*dy, pb)
 			az += RoundMantissa(ff*dz, pb)
 			pp -= fpot
+		}
+		if stuckFactor != nil {
+			f := stuckFactor[i%len(stuckFactor)]
+			ax, ay, az, pp = ax*f, ay*f, az*f, pp*f
 		}
 		acc[i] = acc[i].Add(vec.V3{X: ax, Y: ay, Z: az})
 		pot[i] += pp
@@ -187,7 +315,7 @@ func (s *System) quantizePositions(pos []vec.V3) ([]vec.V3, error) {
 // through the timing model at full problem scale, where evaluating the
 // arithmetic in emulation would be pointless work.
 func (s *System) ChargeOnly(ni, nj int) {
-	if ni <= 0 || nj <= 0 {
+	if ni <= 0 || nj <= 0 || s.nActive == 0 {
 		return
 	}
 	s.charge(ni, nj)
@@ -210,7 +338,7 @@ func (s *System) chargeOpt(ni, nj int, chargeJ bool) {
 	c.Interactions += int64(ni) * int64(nj)
 
 	vp := s.cfg.VirtualPipesPerBoard()
-	boards := s.cfg.Boards
+	boards := s.nActive // excluded boards carry no load
 	jmem := s.cfg.JMemPerBoard * boards
 
 	// j is processed in passes of at most the total particle memory.

@@ -316,3 +316,39 @@ func TestFloat64ConfigIsExact(t *testing.T) {
 		}
 	}
 }
+
+func TestSetEpsValidation(t *testing.T) {
+	sys := newTestSystem(t)
+	if err := sys.SetEps(0.25); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []float64{math.NaN(), -0.01, math.Inf(1), math.Inf(-1)} {
+		if err := sys.SetEps(bad); err == nil {
+			t.Errorf("SetEps(%v) accepted", bad)
+		}
+	}
+	// A rejected value must leave the previous softening in place.
+	if got := sys.Eps(); got != 0.25 {
+		t.Errorf("eps after rejected sets = %v, want 0.25", got)
+	}
+	if err := sys.SetEps(0); err != nil {
+		t.Errorf("SetEps(0) rejected: %v", err)
+	}
+}
+
+func TestCountersFlops(t *testing.T) {
+	sys := newTestSystem(t)
+	sys.ChargeOnly(96, 1000)
+	sys.ChargeOnly(10, 50)
+	c := sys.Counters()
+	wantInts := int64(96*1000 + 10*50)
+	if c.Interactions != wantInts {
+		t.Fatalf("interactions = %d, want %d", c.Interactions, wantInts)
+	}
+	if got, want := c.Flops(38), float64(wantInts)*38; got != want {
+		t.Errorf("Flops(38) = %v, want %v", got, want)
+	}
+	if got := c.Flops(1); got != float64(wantInts) {
+		t.Errorf("Flops(1) = %v, want %v", got, float64(wantInts))
+	}
+}

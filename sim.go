@@ -57,7 +57,14 @@ type Config struct {
 	Engine EngineKind
 	// GRAPE configures the hardware when Engine is EngineGRAPE5; the
 	// zero value means g5.DefaultConfig (the paper's 2-board system).
+	// Set GRAPE.Fault to inject deterministic hardware faults.
 	GRAPE g5.Config
+	// Guard routes EngineGRAPE5 force batches through the
+	// fault-tolerant offload path (acceptance checks, retries, board
+	// exclusion, host fallback) instead of the panic-on-error engine.
+	Guard bool
+	// GuardPolicy tunes the guard; the zero value selects defaults.
+	GuardPolicy g5.GuardPolicy
 	// PMGrid is the particle-mesh size per dimension for EnginePM
 	// (default 64; power of two).
 	PMGrid int
@@ -78,7 +85,8 @@ type Simulation struct {
 
 	cfg    Config
 	tc     *core.Treecode
-	hw     *g5.System // nil for host engine
+	hw     *g5.System        // nil for host engine
+	guard  *g5.GuardedEngine // nil unless Config.Guard
 	lf     *integrate.Leapfrog
 	time   float64
 	nsteps int
@@ -130,9 +138,16 @@ func NewSimulation(sys *System, cfg Config) (*Simulation, error) {
 		if err != nil {
 			return nil, err
 		}
-		hw.SetEps(cfg.Eps)
+		if err := hw.SetEps(cfg.Eps); err != nil {
+			return nil, err
+		}
 		sim.hw = hw
-		engine = g5.NewEngine(hw, cfg.G)
+		if cfg.Guard {
+			sim.guard = g5.NewGuardedEngine(hw, cfg.G, cfg.GuardPolicy)
+			engine = sim.guard
+		} else {
+			engine = g5.NewEngine(hw, cfg.G)
+		}
 	case EnginePM:
 		if cfg.PMGrid == 0 {
 			cfg.PMGrid = 64
@@ -279,3 +294,21 @@ func (sim *Simulation) HardwareCounters() g5.Counters {
 // Hardware returns the emulated GRAPE-5 system, or nil for host-engine
 // simulations.
 func (sim *Simulation) Hardware() *g5.System { return sim.hw }
+
+// Recovery returns the guard's fault-handling counters, or a zero
+// value when the simulation does not run the guarded offload path.
+func (sim *Simulation) Recovery() g5.Recovery {
+	if sim.guard == nil {
+		return g5.Recovery{}
+	}
+	return sim.guard.Recovery()
+}
+
+// FaultStats returns the injected-fault activity counters, or a zero
+// value without fault injection.
+func (sim *Simulation) FaultStats() g5.FaultStats {
+	if sim.hw == nil {
+		return g5.FaultStats{}
+	}
+	return sim.hw.FaultStats()
+}
