@@ -1,13 +1,17 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"time"
 
 	"repro/internal/nbody"
+	"repro/internal/obs"
 	"repro/internal/octree"
 	"repro/internal/vec"
 )
@@ -38,6 +42,10 @@ type Options struct {
 	// Reuse trades a drift-bounded force approximation for amortised
 	// build cost; see the ablation benchmarks.
 	RebuildEvery int
+	// Obs, when non-nil, receives per-phase spans (Morton sort, tree
+	// build, group walk, force evaluation) and traversal counters for
+	// every force calculation. Walk workers record concurrently.
+	Obs *obs.Observer
 }
 
 func (o Options) withDefaults() Options {
@@ -141,12 +149,14 @@ func (tc *Treecode) ComputeForces(s *nbody.System) (*Stats, error) {
 		tc.sinceBuild < o.RebuildEvery
 	var tree *octree.Tree
 	if reuse {
+		tm := o.Obs.Start(obs.PhaseTreeBuild)
 		tree = tc.Tree
 		tree.Refresh()
+		tm.Stop()
 		tc.sinceBuild++
 	} else {
 		var err error
-		tree, err = octree.Build(s, &octree.Options{LeafCap: o.LeafCap})
+		tree, err = octree.Build(s, &octree.Options{LeafCap: o.LeafCap, Obs: o.Obs})
 		if err != nil {
 			return nil, err
 		}
@@ -180,63 +190,81 @@ func (tc *Treecode) ComputeForces(s *nbody.System) (*Stats, error) {
 	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
-			buf := &listBuf{}
-			local := Stats{MinList: -1}
-			for gi := range next {
-				g := groups[gi]
-				tw0 := time.Now()
-				visited, cells := tc.buildGroupList(tree, g, mac, buf)
-				local.WalkTime += time.Since(tw0)
-
-				nj := len(buf.jpos)
-				ni := int(g.Count)
-				local.Interactions += int64(ni) * int64(nj)
-				local.ListSum += int64(nj)
-				local.CellTerms += int64(cells)
-				local.ParticleTerms += int64(nj - cells)
-				local.NodesVisited += visited
-				if nj > local.MaxList {
-					local.MaxList = nj
-				}
-				if local.MinList < 0 || nj < local.MinList {
-					local.MinList = nj
-				}
-
-				tc0 := time.Now()
-				req := Request{
-					IPos:  s.Pos[g.Start : g.Start+g.Count],
-					JPos:  buf.jpos,
-					JMass: buf.jmass,
-					Acc:   s.Acc[g.Start : g.Start+g.Count],
-					Pot:   s.Pot[g.Start : g.Start+g.Count],
-				}
-				tc.Engine.Accumulate(&req)
-				local.ComputeTime += time.Since(tc0)
-			}
-			mu.Lock()
-			stats.Interactions += local.Interactions
-			stats.ListSum += local.ListSum
-			stats.CellTerms += local.CellTerms
-			stats.ParticleTerms += local.ParticleTerms
-			stats.NodesVisited += local.NodesVisited
-			stats.WalkTime += local.WalkTime
-			stats.ComputeTime += local.ComputeTime
-			if local.MaxList > stats.MaxList {
-				stats.MaxList = local.MaxList
-			}
-			if local.MinList >= 0 && (stats.MinList < 0 || local.MinList < stats.MinList) {
-				stats.MinList = local.MinList
-			}
-			mu.Unlock()
-		}()
+			// pprof goroutine labels make the walk workers identifiable
+			// in CPU and goroutine profiles.
+			labels := pprof.Labels("treecode", "group-walk", "worker", strconv.Itoa(w))
+			pprof.Do(context.Background(), labels, func(context.Context) {
+				tc.walkWorker(s, tree, groups, next, mac, o, stats, &mu)
+			})
+		}(w)
 	}
 	wg.Wait()
 	if stats.MinList < 0 {
 		stats.MinList = 0
 	}
+	o.Obs.Add(obs.CntInteractions, stats.Interactions)
+	o.Obs.Add(obs.CntGroups, int64(stats.Groups))
+	o.Obs.Add(obs.CntNodesVisited, stats.NodesVisited)
 	return stats, nil
+}
+
+// walkWorker drains group indices from next, building each group's
+// interaction list and dispatching it to the engine; per-worker spans
+// and statistics are folded into stats under mu at the end.
+func (tc *Treecode) walkWorker(s *nbody.System, tree *octree.Tree, groups []octree.Group,
+	next <-chan int, mac octree.OpenCriterion, o Options, stats *Stats, mu *sync.Mutex) {
+	buf := &listBuf{}
+	local := Stats{MinList: -1}
+	for gi := range next {
+		g := groups[gi]
+		tw0 := time.Now()
+		visited, cells := tc.buildGroupList(tree, g, mac, buf)
+		local.WalkTime += time.Since(tw0)
+
+		nj := len(buf.jpos)
+		ni := int(g.Count)
+		local.Interactions += int64(ni) * int64(nj)
+		local.ListSum += int64(nj)
+		local.CellTerms += int64(cells)
+		local.ParticleTerms += int64(nj - cells)
+		local.NodesVisited += visited
+		if nj > local.MaxList {
+			local.MaxList = nj
+		}
+		if local.MinList < 0 || nj < local.MinList {
+			local.MinList = nj
+		}
+
+		tc0 := time.Now()
+		req := Request{
+			IPos:  s.Pos[g.Start : g.Start+g.Count],
+			JPos:  buf.jpos,
+			JMass: buf.jmass,
+			Acc:   s.Acc[g.Start : g.Start+g.Count],
+			Pot:   s.Pot[g.Start : g.Start+g.Count],
+		}
+		tc.Engine.Accumulate(&req)
+		local.ComputeTime += time.Since(tc0)
+	}
+	o.Obs.AddSeconds(obs.PhaseGroupWalk, local.WalkTime.Seconds())
+	o.Obs.AddSeconds(obs.PhaseForceEval, local.ComputeTime.Seconds())
+	mu.Lock()
+	stats.Interactions += local.Interactions
+	stats.ListSum += local.ListSum
+	stats.CellTerms += local.CellTerms
+	stats.ParticleTerms += local.ParticleTerms
+	stats.NodesVisited += local.NodesVisited
+	stats.WalkTime += local.WalkTime
+	stats.ComputeTime += local.ComputeTime
+	if local.MaxList > stats.MaxList {
+		stats.MaxList = local.MaxList
+	}
+	if local.MinList >= 0 && (stats.MinList < 0 || local.MinList < stats.MinList) {
+		stats.MinList = local.MinList
+	}
+	mu.Unlock()
 }
 
 // buildGroupList fills buf with the shared interaction list of group g:

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/vec"
 )
 
@@ -107,6 +108,7 @@ type GuardedEngine struct {
 	sys            *System
 	host           core.HostEngine
 	rec            Recovery
+	obs            *obs.Observer
 	consecFallback int
 
 	// scratch (guarded by mu)
@@ -132,6 +134,16 @@ func (e *GuardedEngine) System() *System { return e.sys }
 
 // Policy returns the active (defaulted) policy.
 func (e *GuardedEngine) Policy() GuardPolicy { return e.policy }
+
+// SetObserver attaches a telemetry observer: guard overhead (probe
+// references, acceptance checks, backoff, bisection re-runs) is
+// recorded as the guard phase, and every retry, rejected result, board
+// exclusion and host-fallback batch bumps a recovery counter.
+func (e *GuardedEngine) SetObserver(o *obs.Observer) {
+	e.mu.Lock()
+	e.obs = o
+	e.mu.Unlock()
+}
 
 // Recovery returns a snapshot of the fault-handling counters.
 func (e *GuardedEngine) Recovery() Recovery {
@@ -171,6 +183,7 @@ func (e *GuardedEngine) fallback(req *core.Request) {
 	e.host.Eps = e.sys.Eps()
 	e.host.Accumulate(req)
 	e.rec.FallbackBatches++
+	e.obs.Add(obs.CntFallbacks, 1)
 }
 
 // abandonHardware takes every remaining board out of service and routes
@@ -180,6 +193,7 @@ func (e *GuardedEngine) abandonHardware() {
 		if !e.sys.BoardExcluded(b) {
 			e.sys.SetBoardExcluded(b, true)
 			e.rec.ExcludedBoards++
+			e.obs.Add(obs.CntRecoveries, 1)
 		}
 	}
 	e.rec.HostOnly = true
@@ -206,6 +220,7 @@ func (e *GuardedEngine) tryHardware(req *core.Request) bool {
 			e.sys.SetBoardExcluded(b, true)
 			if e.computeVerified(req) {
 				e.rec.ExcludedBoards++
+				e.obs.Add(obs.CntRecoveries, 1)
 				return true
 			}
 			e.sys.SetBoardExcluded(b, false)
@@ -220,6 +235,7 @@ func (e *GuardedEngine) tryHardware(req *core.Request) bool {
 func (e *GuardedEngine) computeVerified(req *core.Request) bool {
 	ni := len(req.IPos)
 	vp := e.sys.Config().VirtualPipesPerBoard()
+	tg := e.obs.Start(obs.PhaseGuard)
 	probe := e.probePoint()
 	refAcc, refPot := e.hostProbeForce(probe, req)
 
@@ -234,9 +250,14 @@ func (e *GuardedEngine) computeVerified(req *core.Request) bool {
 	for s := 0; s < vp; s++ {
 		ipos[ni+s] = probe
 	}
+	tg.Stop()
 
 	for attempt := 0; attempt <= e.policy.MaxRetries; attempt++ {
+		// The first attempt's Compute is the batch's real work; every
+		// re-run after a fault is recovery overhead.
+		var retry obs.Timer
 		if attempt > 0 {
+			retry = e.obs.Start(obs.PhaseGuard)
 			e.backoff(attempt)
 		}
 		acc := e.acc[:n]
@@ -246,9 +267,11 @@ func (e *GuardedEngine) computeVerified(req *core.Request) bool {
 			pot[i] = 0
 		}
 		err := e.sys.Compute(ipos, req.JPos, req.JMass, acc, pot)
+		retry.Stop()
 		if err != nil {
 			if IsTransient(err) {
 				e.rec.Retries++
+				e.obs.Add(obs.CntRecoveries, 1)
 				continue
 			}
 			var hw *HardwareError
@@ -264,7 +287,10 @@ func (e *GuardedEngine) computeVerified(req *core.Request) bool {
 			panic(hw)
 		}
 		e.rec.Checks++
-		if e.verifyProbe(acc[ni:], pot[ni:], refAcc, refPot) {
+		tv := e.obs.Start(obs.PhaseGuard)
+		ok := e.verifyProbe(acc[ni:], pot[ni:], refAcc, refPot)
+		tv.Stop()
+		if ok {
 			for i := 0; i < ni; i++ {
 				req.Acc[i] = req.Acc[i].MulAdd(e.G, acc[i])
 				req.Pot[i] += e.G * pot[i]
@@ -272,6 +298,7 @@ func (e *GuardedEngine) computeVerified(req *core.Request) bool {
 			return true
 		}
 		e.rec.CorruptResults++
+		e.obs.Add(obs.CntRecoveries, 1)
 	}
 	return false
 }

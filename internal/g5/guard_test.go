@@ -353,7 +353,7 @@ func TestConfigValidatesFaultModel(t *testing.T) {
 		{JMemBitFlipRate: -0.1},
 		{StuckPipeRate: 1.5},
 		{BusErrorRate: 2},
-		{FailBoard: 3},  // only 2 boards
+		{FailBoard: 3}, // only 2 boards
 		{FailBoard: -1},
 		{FailBoard: 1, FailAfterRuns: -1},
 		{FailBoard: 1, FailSlot: -2},

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/obs"
 	"repro/internal/vec"
 )
 
@@ -59,6 +60,7 @@ type System struct {
 
 	fault *faultInjector // nil without a fault model
 
+	obs *obs.Observer // nil without telemetry
 	cnt Counters
 }
 
@@ -76,6 +78,12 @@ func NewSystem(cfg Config) (*System, error) {
 
 // Config returns the system's configuration.
 func (s *System) Config() Config { return s.cfg }
+
+// SetObserver attaches a telemetry observer: every charge to the
+// timing model is also recorded as simulated-hardware phase spans
+// (j/i-particle transfer, pipeline streaming, force readback) plus
+// flop and byte counters. A nil observer detaches.
+func (s *System) SetObserver(o *obs.Observer) { s.obs = o }
 
 // Counters returns a snapshot of the activity counters.
 func (s *System) Counters() Counters { return s.cnt }
@@ -330,6 +338,8 @@ func (s *System) chargeJBytes(nj int) {
 	bytes := int64(nj) * int64(s.cfg.BytesPerJ)
 	s.cnt.BytesTransferred += bytes
 	s.cnt.BusSeconds += float64(bytes) / s.cfg.BusBandwidth
+	s.obs.AddSeconds(obs.PhaseJTransfer, float64(bytes)/s.cfg.BusBandwidth)
+	s.obs.Add(obs.CntBytes, bytes)
 }
 
 func (s *System) chargeOpt(ni, nj int, chargeJ bool) {
@@ -360,11 +370,23 @@ func (s *System) chargeOpt(ni, nj int, chargeJ bool) {
 	}
 	c.PipeSeconds += pipeSec
 
-	bytes := int64(ni)*int64(s.cfg.BytesPerI) +
-		int64(ni)*int64(s.cfg.BytesPerForce)*int64(boards)
+	iBytes := int64(ni) * int64(s.cfg.BytesPerI)
+	fBytes := int64(ni) * int64(s.cfg.BytesPerForce) * int64(boards)
+	var jBytes int64
 	if chargeJ {
-		bytes += int64(nj) * int64(s.cfg.BytesPerJ)
+		jBytes = int64(nj) * int64(s.cfg.BytesPerJ)
 	}
+	bytes := iBytes + fBytes + jBytes
 	c.BytesTransferred += bytes
 	c.BusSeconds += float64(bytes)/s.cfg.BusBandwidth + s.cfg.BusLatencyS
+
+	// Telemetry: the paper's t_grape is the pipeline span; t_comm
+	// splits into the j upload, the i upload (which carries the fixed
+	// DMA/driver latency) and the per-board force readback.
+	s.obs.AddSeconds(obs.PhasePipeline, pipeSec)
+	s.obs.AddSeconds(obs.PhaseJTransfer, float64(jBytes)/s.cfg.BusBandwidth)
+	s.obs.AddSeconds(obs.PhaseITransfer, float64(iBytes)/s.cfg.BusBandwidth+s.cfg.BusLatencyS)
+	s.obs.AddSeconds(obs.PhaseReadback, float64(fBytes)/s.cfg.BusBandwidth)
+	s.obs.Add(obs.CntFlops, int64(ni)*int64(nj)*int64(s.cfg.OpsPerInteraction))
+	s.obs.Add(obs.CntBytes, bytes)
 }

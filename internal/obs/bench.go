@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// BenchSchemaVersion is the current BENCH_treecode.json schema version.
+const BenchSchemaVersion = 1
+
+// BenchPoint is one (N, n_g) sample of a bench sweep: per-step means
+// over the measured steps.
+type BenchPoint struct {
+	// Ncrit is the group-size bound n_g of this point.
+	Ncrit int `json:"ncrit"`
+	// Groups, Interactions and AvgList summarise the traversal.
+	Groups       int     `json:"groups"`
+	Interactions int64   `json:"interactions"`
+	AvgList      float64 `json:"avg_list"`
+	// THostWall is the measured host time per step on this machine
+	// (Morton sort + tree build + group walk + guard).
+	THostWall float64 `json:"t_host_wall"`
+	// THostModel is the calibrated DS10 host-model time per step for
+	// the measured traversal statistics.
+	THostModel float64 `json:"t_host_model"`
+	// TGrape and TComm are the simulated GRAPE pipeline and
+	// host-interface seconds per step.
+	TGrape float64 `json:"t_grape"`
+	TComm  float64 `json:"t_comm"`
+	// TTotalModel is THostModel + TGrape + TComm — the paper's
+	// modelled step time, minimised over n_g.
+	TTotalModel float64 `json:"t_total_model"`
+	// Phases is the measured per-step phase breakdown.
+	Phases PhaseSeconds `json:"phases"`
+	// Recoveries counts fault-handling events over the measured steps.
+	Recoveries int64 `json:"recoveries"`
+}
+
+// BenchSweep is one n_g sweep over a fixed snapshot family.
+type BenchSweep struct {
+	// Model names the initial condition ("plummer" or "cosmo").
+	Model string `json:"model"`
+	// N is the particle count; Seed the IC seed.
+	N    int    `json:"n"`
+	Seed uint64 `json:"seed"`
+	// Theta and Steps record the sweep configuration.
+	Theta float64 `json:"theta"`
+	Steps int     `json:"steps"`
+	// Points holds the measured samples in ascending n_g order.
+	Points []BenchPoint `json:"points"`
+	// MeasuredOptimalNcrit minimises the measured time balance
+	// (t_host_model + t_grape + t_comm over real simulation steps).
+	MeasuredOptimalNcrit int `json:"measured_optimal_ncrit"`
+	// ModelOptimalNcrit is the internal/perf analytic prediction
+	// (NgSweep over the initial snapshot).
+	ModelOptimalNcrit int `json:"model_optimal_ncrit"`
+	// AgreeWithinOnePoint reports whether the two optima are at most
+	// one sweep point apart — the §3 consistency check.
+	AgreeWithinOnePoint bool `json:"agree_within_one_point"`
+}
+
+// BenchReport is the root object of BENCH_treecode.json — the repo's
+// recorded performance trajectory.
+type BenchReport struct {
+	SchemaVersion int `json:"schema_version"`
+	// Label describes the run ("smoke" or "full").
+	Label string `json:"label"`
+	// HostModel names the analytic host model used for t_host_model.
+	HostModel string `json:"host_model"`
+	// GOMAXPROCS records the measurement parallelism.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// Sweeps holds one entry per (model, N) pair.
+	Sweeps []BenchSweep `json:"sweeps"`
+}
+
+// ValidateBench checks data against the BENCH_treecode.json schema:
+// version, non-empty sweeps, nonzero t_host/t_grape/t_comm per point,
+// ascending n_g, optima that appear in the sweep, and model/measured
+// agreement within one sweep point.
+func ValidateBench(data []byte) error {
+	var r BenchReport
+	dec := jsonStrict(data)
+	if err := dec.Decode(&r); err != nil {
+		return fmt.Errorf("obs: bench JSON: %w", err)
+	}
+	if r.SchemaVersion != BenchSchemaVersion {
+		return fmt.Errorf("obs: bench schema version %d, want %d", r.SchemaVersion, BenchSchemaVersion)
+	}
+	if len(r.Sweeps) == 0 {
+		return fmt.Errorf("obs: bench has no sweeps")
+	}
+	for si, sw := range r.Sweeps {
+		if sw.Model == "" || sw.N < 1 || sw.Steps < 1 {
+			return fmt.Errorf("obs: sweep %d: bad model/N/steps (%q, %d, %d)", si, sw.Model, sw.N, sw.Steps)
+		}
+		if len(sw.Points) == 0 {
+			return fmt.Errorf("obs: sweep %d (%s N=%d): no points", si, sw.Model, sw.N)
+		}
+		measuredIdx, modelIdx := -1, -1
+		for pi, p := range sw.Points {
+			if p.Ncrit < 1 {
+				return fmt.Errorf("obs: sweep %d point %d: bad ncrit %d", si, pi, p.Ncrit)
+			}
+			if pi > 0 && p.Ncrit <= sw.Points[pi-1].Ncrit {
+				return fmt.Errorf("obs: sweep %d: ncrit not ascending at point %d", si, pi)
+			}
+			if !(p.THostWall > 0) || !(p.THostModel > 0) || !(p.TGrape > 0) || !(p.TComm > 0) {
+				return fmt.Errorf("obs: sweep %d ncrit=%d: zero phase timing (host_wall=%g host_model=%g grape=%g comm=%g)",
+					si, p.Ncrit, p.THostWall, p.THostModel, p.TGrape, p.TComm)
+			}
+			if p.Interactions < 1 || p.Groups < 1 {
+				return fmt.Errorf("obs: sweep %d ncrit=%d: empty traversal", si, p.Ncrit)
+			}
+			if p.Ncrit == sw.MeasuredOptimalNcrit {
+				measuredIdx = pi
+			}
+			if p.Ncrit == sw.ModelOptimalNcrit {
+				modelIdx = pi
+			}
+		}
+		if measuredIdx < 0 || modelIdx < 0 {
+			return fmt.Errorf("obs: sweep %d: optima (measured=%d model=%d) not in sweep",
+				si, sw.MeasuredOptimalNcrit, sw.ModelOptimalNcrit)
+		}
+		apart := measuredIdx - modelIdx
+		if apart < 0 {
+			apart = -apart
+		}
+		if (apart <= 1) != sw.AgreeWithinOnePoint {
+			return fmt.Errorf("obs: sweep %d: agree_within_one_point=%v but optima are %d points apart",
+				si, sw.AgreeWithinOnePoint, apart)
+		}
+		if !sw.AgreeWithinOnePoint {
+			return fmt.Errorf("obs: sweep %d (%s N=%d): measured optimum n_g=%d disagrees with model n_g=%d by more than one sweep point",
+				si, sw.Model, sw.N, sw.MeasuredOptimalNcrit, sw.ModelOptimalNcrit)
+		}
+	}
+	return nil
+}
+
+// jsonStrict returns a decoder rejecting unknown fields, so schema
+// drift in the emitter is caught by the validator.
+func jsonStrict(data []byte) *json.Decoder {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	return dec
+}

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// goodBench returns a minimal valid report for mutation tests.
+func goodBench() BenchReport {
+	point := func(ng int) BenchPoint {
+		return BenchPoint{
+			Ncrit: ng, Groups: 10, Interactions: 1000, AvgList: 100,
+			THostWall: 0.01, THostModel: 0.02, TGrape: 0.005, TComm: 0.004,
+			TTotalModel: 0.029,
+		}
+	}
+	return BenchReport{
+		SchemaVersion: BenchSchemaVersion,
+		Label:         "test",
+		HostModel:     "DS10",
+		GOMAXPROCS:    4,
+		Sweeps: []BenchSweep{{
+			Model: "plummer", N: 512, Seed: 1, Theta: 0.75, Steps: 2,
+			Points:               []BenchPoint{point(100), point(200), point(400)},
+			MeasuredOptimalNcrit: 200,
+			ModelOptimalNcrit:    400,
+			AgreeWithinOnePoint:  true,
+		}},
+	}
+}
+
+func mustJSON(t *testing.T, r BenchReport) []byte {
+	t.Helper()
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestValidateBenchAccepts(t *testing.T) {
+	if err := ValidateBench(mustJSON(t, goodBench())); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateBenchRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*BenchReport)
+		want string
+	}{
+		{"wrong version", func(r *BenchReport) { r.SchemaVersion = 2 }, "schema version"},
+		{"no sweeps", func(r *BenchReport) { r.Sweeps = nil }, "no sweeps"},
+		{"no points", func(r *BenchReport) { r.Sweeps[0].Points = nil }, "no points"},
+		{"missing model", func(r *BenchReport) { r.Sweeps[0].Model = "" }, "bad model"},
+		{"descending ncrit", func(r *BenchReport) { r.Sweeps[0].Points[1].Ncrit = 50 }, "not ascending"},
+		{"zero host time", func(r *BenchReport) { r.Sweeps[0].Points[0].THostWall = 0 }, "zero phase timing"},
+		{"zero grape time", func(r *BenchReport) { r.Sweeps[0].Points[2].TGrape = 0 }, "zero phase timing"},
+		{"zero comm time", func(r *BenchReport) { r.Sweeps[0].Points[2].TComm = 0 }, "zero phase timing"},
+		{"empty traversal", func(r *BenchReport) { r.Sweeps[0].Points[1].Interactions = 0 }, "empty traversal"},
+		{"optimum not in sweep", func(r *BenchReport) { r.Sweeps[0].MeasuredOptimalNcrit = 123 }, "not in sweep"},
+		{"inconsistent agreement flag", func(r *BenchReport) {
+			r.Sweeps[0].MeasuredOptimalNcrit = 100 // two points from model's 400
+		}, "agree_within_one_point"},
+		{"declared disagreement", func(r *BenchReport) {
+			r.Sweeps[0].MeasuredOptimalNcrit = 100
+			r.Sweeps[0].AgreeWithinOnePoint = false
+		}, "disagrees"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := goodBench()
+			tc.mut(&r)
+			err := ValidateBench(mustJSON(t, r))
+			if err == nil {
+				t.Fatalf("mutation accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestValidateBenchRejectsUnknownFields(t *testing.T) {
+	data := mustJSON(t, goodBench())
+	data = append([]byte(`{"surprise":1,`), data[1:]...)
+	if err := ValidateBench(data); err == nil {
+		t.Error("unknown field accepted")
+	}
+}
+
+func TestValidateBenchRejectsGarbage(t *testing.T) {
+	if err := ValidateBench([]byte("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+}

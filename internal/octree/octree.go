@@ -13,9 +13,11 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"repro/internal/morton"
 	"repro/internal/nbody"
+	"repro/internal/obs"
 	"repro/internal/vec"
 )
 
@@ -63,6 +65,9 @@ type Tree struct {
 type Options struct {
 	// LeafCap is the maximum number of particles in a leaf. Default 8.
 	LeafCap int
+	// Obs, when non-nil, receives the Morton-sort and tree-build phase
+	// spans of the construction.
+	Obs *obs.Observer
 }
 
 func (o *Options) leafCap() int {
@@ -85,6 +90,11 @@ func Build(s *nbody.System, opt *Options) (*Tree, error) {
 		cube = vec.NewBox(cube.Min.Sub(vec.V3{X: 0.5, Y: 0.5, Z: 0.5}),
 			cube.Min.Add(vec.V3{X: 0.5, Y: 0.5, Z: 0.5}))
 	}
+	var ob *obs.Observer
+	if opt != nil {
+		ob = opt.Obs
+	}
+	t0 := time.Now()
 	keys := morton.Keys(s.Pos, cube)
 	order := morton.SortOrderRadix(keys)
 	if err := s.ApplyOrder(order); err != nil {
@@ -94,13 +104,16 @@ func Build(s *nbody.System, opt *Options) (*Tree, error) {
 	for i, idx := range order {
 		sorted[i] = keys[idx]
 	}
+	ob.AddSeconds(obs.PhaseMortonSort, time.Since(t0).Seconds())
 
+	t1 := time.Now()
 	t := &Tree{
 		Nodes:   make([]Node, 0, 2*s.N()/opt.leafCap()+16),
 		Sys:     s,
 		LeafCap: opt.leafCap(),
 	}
 	t.build(sorted, cube, 0, int32(s.N()), 0)
+	ob.AddSeconds(obs.PhaseTreeBuild, time.Since(t1).Seconds())
 	return t, nil
 }
 

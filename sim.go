@@ -2,15 +2,21 @@ package grape5
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/g5"
 	"repro/internal/integrate"
 	"repro/internal/nbody"
+	"repro/internal/obs"
 	"repro/internal/pm"
 	"repro/internal/units"
 )
+
+// StepReport is the structured per-step telemetry (phase spans, work
+// counters, recovery events) emitted by Simulation.Step.
+type StepReport = obs.StepReport
 
 // System is the particle container (structure-of-arrays positions,
 // velocities, masses, stable IDs).
@@ -88,12 +94,18 @@ type Simulation struct {
 	hw     *g5.System        // nil for host engine
 	guard  *g5.GuardedEngine // nil unless Config.Guard
 	lf     *integrate.Leapfrog
+	ob     *obs.Observer
 	time   float64
 	nsteps int
 
 	// LastStats is the treecode statistics of the most recent force
 	// evaluation.
 	LastStats Stats
+	// LastReport is the telemetry of the most recent Step (or Prime):
+	// the paper's time-balance decomposition of the step — host tree
+	// phases measured on this machine, GRAPE pipeline and transfer
+	// phases in simulated hardware seconds — plus activity counters.
+	LastReport StepReport
 	// TotalInteractions accumulates pairwise interactions over the run.
 	TotalInteractions int64
 }
@@ -114,6 +126,7 @@ func NewSimulation(sys *System, cfg Config) (*Simulation, error) {
 		cfg.G = units.G
 	}
 
+	sim := &Simulation{Sys: sys, cfg: cfg, ob: obs.NewObserver()}
 	opt := core.Options{
 		Theta:        cfg.Theta,
 		Ncrit:        cfg.Ncrit,
@@ -122,9 +135,9 @@ func NewSimulation(sys *System, cfg Config) (*Simulation, error) {
 		Eps:          cfg.Eps,
 		Workers:      cfg.Workers,
 		RebuildEvery: cfg.RebuildEvery,
+		Obs:          sim.ob,
 	}
 
-	sim := &Simulation{Sys: sys, cfg: cfg}
 	var engine core.Engine
 	switch cfg.Engine {
 	case EngineHost:
@@ -141,9 +154,11 @@ func NewSimulation(sys *System, cfg Config) (*Simulation, error) {
 		if err := hw.SetEps(cfg.Eps); err != nil {
 			return nil, err
 		}
+		hw.SetObserver(sim.ob)
 		sim.hw = hw
 		if cfg.Guard {
 			sim.guard = g5.NewGuardedEngine(hw, cfg.G, cfg.GuardPolicy)
+			sim.guard.SetObserver(sim.ob)
 			engine = sim.guard
 		} else {
 			engine = g5.NewEngine(hw, cfg.G)
@@ -248,15 +263,29 @@ func max3(a, b, c float64) float64 {
 }
 
 // Prime computes initial forces (optional; Step does it on first call).
-func (sim *Simulation) Prime() error { return sim.lf.Prime(sim.Sys) }
+// The priming force call emits its own telemetry as step 0.
+func (sim *Simulation) Prime() error {
+	sim.ob.Reset()
+	t0 := time.Now()
+	if err := sim.lf.Prime(sim.Sys); err != nil {
+		return err
+	}
+	sim.LastReport = sim.ob.Snapshot(0, time.Since(t0))
+	return nil
+}
 
-// Step advances one leapfrog step.
+// Step advances one leapfrog step and snapshots the step's telemetry
+// into LastReport. A first Step without a prior Prime folds the priming
+// force call into its report.
 func (sim *Simulation) Step() error {
+	sim.ob.Reset()
+	t0 := time.Now()
 	if err := sim.lf.Step(sim.Sys); err != nil {
 		return err
 	}
 	sim.time += sim.cfg.DT
 	sim.nsteps++
+	sim.LastReport = sim.ob.Snapshot(sim.nsteps, time.Since(t0))
 	return nil
 }
 
@@ -281,6 +310,10 @@ func (sim *Simulation) Steps() int { return sim.nsteps }
 func (sim *Simulation) Energy() analysis.EnergyReport {
 	return analysis.EnergyFromPotentials(sim.Sys)
 }
+
+// Observer returns the simulation's telemetry collector. It is reset
+// at every step boundary; use LastReport for completed-step telemetry.
+func (sim *Simulation) Observer() *obs.Observer { return sim.ob }
 
 // HardwareCounters returns the emulated GRAPE-5 activity counters, or a
 // zero value for host-engine simulations.
