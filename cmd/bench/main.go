@@ -23,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"os"
 	"runtime"
 	"strconv"
@@ -49,6 +50,7 @@ func main() {
 		grid     = flag.Int("cosmo-grid", 32, "cosmology IC grid per dimension (power of two; 0 disables the cosmo sweep)")
 		seed     = flag.Uint64("seed", 1, "IC seed")
 		guard    = flag.Bool("guard", true, "route force batches through the fault-tolerant offload path")
+		boards   = flag.String("boards", "1", "comma-separated cluster shard counts K to sweep (K>1 drives the sharded multi-board engine; K=1 is always run first as the speedup reference)")
 	)
 	flag.Parse()
 
@@ -74,6 +76,11 @@ func main() {
 	}
 	ncrits := parseInts(*ncrit)
 	plumNs := parseInts(*plumN)
+	boardsList := parseInts(*boards)
+	// The K=1 sweep is the speedup baseline; make sure it leads.
+	if boardsList[0] != 1 {
+		boardsList = append([]int{1}, boardsList...)
+	}
 
 	report := obs.BenchReport{
 		SchemaVersion: obs.BenchSchemaVersion,
@@ -82,9 +89,29 @@ func main() {
 		GOMAXPROCS:    runtime.GOMAXPROCS(0),
 	}
 
+	// runFamily sweeps one IC family at every requested shard count,
+	// computing the K>1 speedups against the family's K=1 sweep.
+	runFamily := func(spec sweepSpec) {
+		var ref *obs.BenchSweep
+		for _, k := range boardsList {
+			spec.shards = k
+			sw, err := runSweep(spec, ncrits)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if k == 1 {
+				r := sw
+				ref = &r
+			} else {
+				attachSpeedups(&sw, ref, k)
+			}
+			report.Sweeps = append(report.Sweeps, sw)
+		}
+	}
+
 	for _, n := range plumNs {
 		n := n
-		sw, err := runSweep(sweepSpec{
+		runFamily(sweepSpec{
 			model: "plummer",
 			n:     n,
 			seed:  *seed,
@@ -94,11 +121,7 @@ func main() {
 			make: func() (*nbody.System, float64, float64, float64) {
 				return grape5.Plummer(n, 1, 1, 1, *seed), 1, 0.02, 0.005
 			},
-		}, ncrits)
-		if err != nil {
-			log.Fatal(err)
-		}
-		report.Sweeps = append(report.Sweeps, sw)
+		})
 	}
 
 	if *grid > 0 {
@@ -106,7 +129,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		sw, err := runSweep(sweepSpec{
+		runFamily(sweepSpec{
 			model: "cosmo",
 			n:     cs.Sys.N(),
 			seed:  *seed,
@@ -120,11 +143,7 @@ func main() {
 				}
 				return c.Sys, grape5.G, c.GridSpacing * c.AInit, c.Schedule.DT()
 			},
-		}, ncrits)
-		if err != nil {
-			log.Fatal(err)
-		}
-		report.Sweeps = append(report.Sweeps, sw)
+		})
 	}
 
 	data, err := json.MarshalIndent(report, "", "  ")
@@ -144,13 +163,14 @@ func main() {
 // sweepSpec describes one n_g sweep: make returns fresh deterministic
 // initial conditions plus the unit system (G, eps, dt) to run them in.
 type sweepSpec struct {
-	model string
-	n     int
-	seed  uint64
-	theta float64
-	steps int
-	guard bool
-	make  func() (sys *nbody.System, g, eps, dt float64)
+	model  string
+	n      int
+	seed   uint64
+	theta  float64
+	steps  int
+	guard  bool
+	shards int // cluster shard count K; <=1 runs the single-system path
+	make   func() (sys *nbody.System, g, eps, dt float64)
 }
 
 // runSweep measures every n_g point with live simulation steps, prints
@@ -168,14 +188,20 @@ func runSweep(spec sweepSpec, ncrits []int) (obs.BenchSweep, error) {
 	if err != nil {
 		return sw, err
 	}
+	if spec.shards > 1 {
+		sw.Boards = spec.shards
+		// Sharding divides the hardware spans by K; the host side is
+		// unchanged, so the analytic optimum shifts toward larger n_g.
+		modelPts = perf.ClusterSweep(modelPts, spec.shards)
+	}
 	modelIdx := perf.OptimumIndex(modelPts)
 	if modelIdx < 0 {
 		return sw, fmt.Errorf("empty model sweep")
 	}
 	sw.ModelOptimalNcrit = modelPts[modelIdx].Ncrit
 
-	fmt.Printf("== %s N=%d theta=%.2f: %d measured steps per point ==\n",
-		spec.model, spec.n, spec.theta, spec.steps)
+	fmt.Printf("== %s N=%d theta=%.2f boards=%d: %d measured steps per point ==\n",
+		spec.model, spec.n, spec.theta, max(spec.shards, 1), spec.steps)
 	fmt.Printf("%8s %8s %10s %12s %12s %10s %10s %12s\n",
 		"n_g", "groups", "avg list", "t_host_wall", "t_host_model", "t_grape", "t_comm", "t_total_model")
 
@@ -209,13 +235,18 @@ func runSweep(spec sweepSpec, ncrits []int) (obs.BenchSweep, error) {
 // steps and averages the per-step telemetry.
 func measurePoint(spec sweepSpec, ng int, host perf.HostModel) (obs.BenchPoint, error) {
 	sys, g, eps, dt := spec.make()
-	sim, err := grape5.NewSimulation(sys, grape5.Config{
+	cfg := grape5.Config{
 		Theta: spec.theta, Ncrit: ng, G: g, Eps: eps, DT: dt,
 		Engine: grape5.EngineGRAPE5, Guard: spec.guard,
-	})
+	}
+	if spec.shards > 1 {
+		cfg.Shards = spec.shards
+	}
+	sim, err := grape5.NewSimulation(sys, cfg)
 	if err != nil {
 		return obs.BenchPoint{}, err
 	}
+	defer sim.Close()
 	// Prime outside the measurement: the paper's per-step numbers are
 	// steady-state, not first-call.
 	if err := sim.Prime(); err != nil {
@@ -256,7 +287,54 @@ func measurePoint(spec sweepSpec, ng int, host perf.HostModel) (obs.BenchPoint, 
 	p.AvgList = interactions / k / float64(sim.Sys.N())
 	p.Groups = sim.LastStats.Groups
 	scalePhases(&p.Phases, 1/k)
+	// Overlap-aware step time: with double-buffered batches the group
+	// walk streams against the (critical-path) hardware span; only the
+	// sort and build are serial. Phases are per-step means here.
+	p.TStepPipelined = p.Phases.MortonSort + p.Phases.TreeBuild +
+		math.Max(p.Phases.GroupWalk+p.Phases.Guard, p.TGrape+p.TComm)
 	return p, nil
+}
+
+// bestPipelined returns the sweep's minimum pipelined step time.
+func bestPipelined(sw *obs.BenchSweep) float64 {
+	best := math.Inf(1)
+	for _, p := range sw.Points {
+		if p.TStepPipelined > 0 && p.TStepPipelined < best {
+			best = p.TStepPipelined
+		}
+	}
+	return best
+}
+
+// attachSpeedups fills the K>1 sweep's speedup fields from the matching
+// K=1 reference: measured is the ratio of the best pipelined step times;
+// predicted prices the K=1 sweep's measured phases on the internal/perf
+// K-board time-balance model.
+func attachSpeedups(sw, ref *obs.BenchSweep, k int) {
+	if ref == nil {
+		return
+	}
+	t1 := bestPipelined(ref)
+	tk := bestPipelined(sw)
+	if t1 > 0 && tk > 0 && !math.IsInf(t1, 1) && !math.IsInf(tk, 1) {
+		sw.MeasuredSpeedupVsK1 = t1 / tk
+	}
+	pred := math.Inf(1)
+	for _, p := range ref.Points {
+		b := perf.ClusterBalance{
+			HostSerial: p.Phases.MortonSort + p.Phases.TreeBuild,
+			HostWalk:   p.Phases.GroupWalk + p.Phases.Guard,
+			Hardware:   p.TGrape + p.TComm,
+		}
+		if t := b.StepSeconds(k); t < pred {
+			pred = t
+		}
+	}
+	if t1 > 0 && pred > 0 && !math.IsInf(pred, 1) {
+		sw.PredictedSpeedupVsK1 = t1 / pred
+	}
+	fmt.Printf("K=%d speedup vs K=1 (pipelined): measured %.2fx, model predicts %.2fx\n\n",
+		k, sw.MeasuredSpeedupVsK1, sw.PredictedSpeedupVsK1)
 }
 
 // scalePhases multiplies every phase by f.

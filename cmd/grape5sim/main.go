@@ -44,6 +44,7 @@ func main() {
 		ncrit  = flag.Int("ncrit", 2000, "modified-algorithm group bound n_g")
 		eps    = flag.Float64("eps", 0, "Plummer softening (0 = model default)")
 		engine = flag.String("engine", "grape5", "force engine: host, grape5, pm")
+		boards = flag.Int("boards", 1, "GRAPE shard count K: drive K independent board systems through the sharded cluster engine (grape5 engine only)")
 		pmGrid = flag.Int("pmgrid", 64, "particle-mesh size for -engine pm")
 		seed   = flag.Uint64("seed", 1, "random seed")
 		snap   = flag.String("snap", "", "snapshot filename pattern (printf with step), e.g. snap_%04d.g5")
@@ -84,6 +85,12 @@ func main() {
 	if (faultsOn || *guard) && cfg.Engine != grape5.EngineGRAPE5 {
 		log.Fatal("fault injection and -guard require -engine grape5")
 	}
+	if *boards > 1 {
+		if cfg.Engine != grape5.EngineGRAPE5 {
+			log.Fatal("-boards requires -engine grape5")
+		}
+		cfg.Shards = *boards // every shard runs guarded
+	}
 	if faultsOn {
 		hwCfg := g5.DefaultConfig()
 		hwCfg.Fault = &g5.FaultModel{
@@ -97,7 +104,7 @@ func main() {
 			FailSlot:        *failSlot,
 		}
 		cfg.GRAPE = hwCfg
-		if !*guard {
+		if !*guard && *boards <= 1 {
 			fmt.Println("note: injecting faults without -guard; corruption goes undetected")
 		}
 	}
@@ -168,6 +175,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer sim.Close()
 	if err := sim.Prime(); err != nil {
 		log.Fatal(err)
 	}
@@ -266,29 +274,60 @@ func main() {
 		float64(sim.TotalInteractions)/float64(sys.N())/float64(*steps+1))
 
 	if c := sim.HardwareCounters(); c.Runs > 0 {
-		hwCfg := sim.Hardware().Config()
+		cl := sim.Cluster()
+		var hwCfg g5.Config
+		if cl != nil {
+			hwCfg = cl.Config()
+		} else {
+			hwCfg = sim.Hardware().Config()
+		}
+		k := 1
+		if cl != nil {
+			k = cl.Shards()
+		}
 		fmt.Printf("GRAPE-5: runs=%d j-passes=%d bytes=%.3g clamps=%d\n",
 			c.Runs, c.JPasses, float64(c.BytesTransferred), c.RangeClamps)
-		fmt.Printf("GRAPE-5 modelled time: pipe %.3gs + bus %.3gs = %.3gs (peak %.4g Gflops)\n",
-			c.PipeSeconds, c.BusSeconds, c.HWSeconds(), hwCfg.PeakFlops()/1e9)
+		// For a cluster the shards drain concurrently: the aggregate
+		// pipe/bus seconds are total work, the critical path is wall.
+		wall := c.HWSeconds()
+		if cl != nil {
+			wall = cl.CriticalHWSeconds()
+		}
+		fmt.Printf("GRAPE-5 modelled time: pipe %.3gs + bus %.3gs = %.3gs aggregate (peak %.4g Gflops)\n",
+			c.PipeSeconds, c.BusSeconds, c.HWSeconds(), float64(k)*hwCfg.PeakFlops()/1e9)
+		if cl != nil {
+			loads := cl.ShardInteractions()
+			fmt.Printf("cluster: K=%d shards, critical-path hardware time %.3gs, steals=%d\n",
+				k, wall, cl.Steals())
+			for s, ints := range loads {
+				fmt.Printf("  shard %d: interactions=%.3g batches=%d boards=%d/%d\n",
+					s, float64(ints), cl.ShardBatches()[s],
+					cl.ShardSystem(s).ActiveBoards(), hwCfg.Boards)
+			}
+		}
 		gb := perf.GordonBell{
 			Interactions:         float64(sim.TotalInteractions),
 			OriginalInteractions: float64(sim.TotalInteractions), // raw accounting here
-			WallClockSeconds:     c.HWSeconds(),
+			WallClockSeconds:     wall,
 			OpsPerInteraction:    hwCfg.OpsPerInteraction,
 			Cost:                 perf.PaperCostModel(),
 		}
 		fmt.Printf("hardware-side sustained speed: %.3g Gflops of %.4g peak\n",
-			gb.RawFlops()/1e9, hwCfg.PeakFlops()/1e9)
+			gb.RawFlops()/1e9, float64(k)*hwCfg.PeakFlops()/1e9)
 	}
 	if fs := sim.FaultStats(); fs != (g5.FaultStats{}) {
 		fmt.Printf("injected faults: bitflips=%d stuck-pipe-calls=%d bus=%d transient=%d\n",
 			fs.JMemBitFlips, fs.StuckPipeCalls, fs.BusErrors, fs.Transients)
 	}
-	if *guard {
+	if *guard || *boards > 1 {
 		fmt.Printf("recovery: %s\n", sim.Recovery())
-		fmt.Printf("boards in service: %d of %d\n",
-			sim.Hardware().ActiveBoards(), sim.Hardware().Config().Boards)
+		if cl := sim.Cluster(); cl != nil {
+			fmt.Printf("boards in service: %d of %d (across %d shards)\n",
+				cl.ActiveBoards(), cl.Shards()*cl.Config().Boards, cl.Shards())
+		} else {
+			fmt.Printf("boards in service: %d of %d\n",
+				sim.Hardware().ActiveBoards(), sim.Hardware().Config().Boards)
+		}
 	}
 
 	if *checkForces {
@@ -296,6 +335,7 @@ func main() {
 		refCfg := cfg
 		refCfg.Engine = grape5.EngineHost
 		refCfg.Guard = false
+		refCfg.Shards = 0
 		refCfg.GRAPE = g5.Config{}
 		refSim, err := grape5.NewSimulation(ref, refCfg)
 		if err != nil {

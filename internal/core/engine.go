@@ -49,6 +49,18 @@ type Engine interface {
 	Accumulate(req *Request)
 }
 
+// BatchedEngine is an Engine that may defer batches submitted through
+// Accumulate (staging them on an asynchronous device queue). Flush is
+// the completion barrier: it blocks until every submitted batch has
+// committed its results into the request's output slices and returns
+// the first asynchronous failure since the previous Flush. The
+// treecode calls Flush after the walk drains, so callers of
+// ComputeForces see fully-committed forces either way.
+type BatchedEngine interface {
+	Engine
+	Flush() error
+}
+
 // HostEngine is the reference force pipeline: exact float64 arithmetic
 // on the host, Plummer softening. It is the "general purpose computer"
 // baseline of the paper's accuracy comparison and the engine used when

@@ -201,6 +201,13 @@ func (tc *Treecode) ComputeForces(s *nbody.System) (*Stats, error) {
 		}(w)
 	}
 	wg.Wait()
+	// Asynchronous engines stage batches; the step's forces are only
+	// complete once the device queue drains.
+	if be, ok := tc.Engine.(BatchedEngine); ok {
+		if err := be.Flush(); err != nil {
+			return nil, err
+		}
+	}
 	if stats.MinList < 0 {
 		stats.MinList = 0
 	}

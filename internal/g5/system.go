@@ -88,8 +88,23 @@ func (s *System) SetObserver(o *obs.Observer) { s.obs = o }
 // Counters returns a snapshot of the activity counters.
 func (s *System) Counters() Counters { return s.cnt }
 
-// ResetCounters zeroes the activity counters.
-func (s *System) ResetCounters() { s.cnt = Counters{} }
+// ResetCounters zeroes the activity counters AND the observer-side
+// accumulation the system feeds: the simulated hardware phases
+// (j/i-particle transfer, pipeline, readback) and the flop/byte
+// counters are written only by this System, so resetting one view but
+// not the other would let an observer snapshot disagree with
+// Counters() — the inconsistency the obs regression test pins down.
+// Phases and counters owned by other components (walk, guard,
+// recoveries) are left untouched.
+func (s *System) ResetCounters() {
+	s.cnt = Counters{}
+	s.obs.ResetPhase(obs.PhaseJTransfer)
+	s.obs.ResetPhase(obs.PhaseITransfer)
+	s.obs.ResetPhase(obs.PhasePipeline)
+	s.obs.ResetPhase(obs.PhaseReadback)
+	s.obs.ResetCounter(obs.CntFlops)
+	s.obs.ResetCounter(obs.CntBytes)
+}
 
 // SetScale defines the coordinate range mapped onto the pipeline's
 // fixed-point format, like g5_set_range. All positions of subsequent

@@ -31,6 +31,13 @@ type BenchPoint struct {
 	// TTotalModel is THostModel + TGrape + TComm — the paper's
 	// modelled step time, minimised over n_g.
 	TTotalModel float64 `json:"t_total_model"`
+	// TStepPipelined is the overlap-aware step time: Morton sort + tree
+	// build (serial) plus the larger of the host walk (incl. guard) and
+	// the hardware span t_grape + t_comm. For cluster sweeps (boards >
+	// 1) the hardware span is the critical-path shard's, so this is the
+	// step time the sharded double-buffered offload actually achieves;
+	// K-board speedups are ratios of this metric.
+	TStepPipelined float64 `json:"t_step_pipelined,omitempty"`
 	// Phases is the measured per-step phase breakdown.
 	Phases PhaseSeconds `json:"phases"`
 	// Recoveries counts fault-handling events over the measured steps.
@@ -47,6 +54,16 @@ type BenchSweep struct {
 	// Theta and Steps record the sweep configuration.
 	Theta float64 `json:"theta"`
 	Steps int     `json:"steps"`
+	// Boards is the cluster shard count K the sweep ran with (absent or
+	// 0 means the single-system path, equivalent to 1).
+	Boards int `json:"boards,omitempty"`
+	// MeasuredSpeedupVsK1 and PredictedSpeedupVsK1 compare this sweep's
+	// best pipelined step time against the matching K=1 sweep: measured
+	// is the ratio of the two minima over the sweep points; predicted
+	// applies the internal/perf K-board time-balance model to the K=1
+	// sweep's measured phases. Only present when Boards > 1.
+	MeasuredSpeedupVsK1  float64 `json:"measured_speedup_vs_k1,omitempty"`
+	PredictedSpeedupVsK1 float64 `json:"predicted_speedup_vs_k1,omitempty"`
 	// Points holds the measured samples in ascending n_g order.
 	Points []BenchPoint `json:"points"`
 	// MeasuredOptimalNcrit minimises the measured time balance
@@ -134,6 +151,24 @@ func ValidateBench(data []byte) error {
 		if !sw.AgreeWithinOnePoint {
 			return fmt.Errorf("obs: sweep %d (%s N=%d): measured optimum n_g=%d disagrees with model n_g=%d by more than one sweep point",
 				si, sw.Model, sw.N, sw.MeasuredOptimalNcrit, sw.ModelOptimalNcrit)
+		}
+		if sw.Boards < 0 {
+			return fmt.Errorf("obs: sweep %d: negative boards %d", si, sw.Boards)
+		}
+		if sw.Boards > 1 {
+			k := float64(sw.Boards)
+			// Sub-linear with a little measurement slack; zero means the
+			// emitter forgot the K=1 reference sweep.
+			if !(sw.MeasuredSpeedupVsK1 > 0) || sw.MeasuredSpeedupVsK1 > k+0.5 {
+				return fmt.Errorf("obs: sweep %d (%s N=%d, K=%d): measured speedup %g outside (0, %g]",
+					si, sw.Model, sw.N, sw.Boards, sw.MeasuredSpeedupVsK1, k+0.5)
+			}
+			if !(sw.PredictedSpeedupVsK1 > 0) || sw.PredictedSpeedupVsK1 > k+0.5 {
+				return fmt.Errorf("obs: sweep %d (%s N=%d, K=%d): predicted speedup %g outside (0, %g]",
+					si, sw.Model, sw.N, sw.Boards, sw.PredictedSpeedupVsK1, k+0.5)
+			}
+		} else if sw.MeasuredSpeedupVsK1 != 0 || sw.PredictedSpeedupVsK1 != 0 {
+			return fmt.Errorf("obs: sweep %d: speedup fields set on a single-board sweep", si)
 		}
 	}
 	return nil

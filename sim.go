@@ -71,6 +71,13 @@ type Config struct {
 	Guard bool
 	// GuardPolicy tunes the guard; the zero value selects defaults.
 	GuardPolicy g5.GuardPolicy
+	// Shards, when greater than 1, drives K independent GRAPE systems
+	// through the sharded cluster engine (g5.Cluster): group force
+	// batches are split across the boards and double-buffered so the
+	// host walk overlaps the hardware drain. Each shard is always
+	// guarded (Guard is implied; GuardPolicy applies per shard).
+	// 0 or 1 selects the single-system path.
+	Shards int
 	// PMGrid is the particle-mesh size per dimension for EnginePM
 	// (default 64; power of two).
 	PMGrid int
@@ -89,10 +96,11 @@ type Simulation struct {
 	// force evaluation; identity is in Sys.ID).
 	Sys *System
 
-	cfg    Config
-	tc     *core.Treecode
-	hw     *g5.System        // nil for host engine
-	guard  *g5.GuardedEngine // nil unless Config.Guard
+	cfg     Config
+	tc      *core.Treecode
+	hw      *g5.System        // nil for host engine and cluster runs
+	guard   *g5.GuardedEngine // nil unless Config.Guard
+	cluster *g5.Cluster       // nil unless Config.Shards > 1
 	lf     *integrate.Leapfrog
 	ob     *obs.Observer
 	time   float64
@@ -146,6 +154,23 @@ func NewSimulation(sys *System, cfg Config) (*Simulation, error) {
 		hwCfg := cfg.GRAPE
 		if hwCfg.Boards == 0 {
 			hwCfg = g5.DefaultConfig()
+		}
+		if cfg.Shards > 1 {
+			cl, err := g5.NewCluster(g5.ClusterConfig{
+				Shards: cfg.Shards, Board: hwCfg,
+				G: cfg.G, Guard: cfg.GuardPolicy,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if err := cl.SetEps(cfg.Eps); err != nil {
+				cl.Close()
+				return nil, err
+			}
+			cl.SetObserver(sim.ob)
+			sim.cluster = cl
+			engine = cl
+			break
 		}
 		hw, err := g5.NewSystem(hwCfg)
 		if err != nil {
@@ -214,7 +239,7 @@ func (sim *Simulation) forcePM(s *System) error {
 // force is the integrator's ForceFunc: rescale the hardware if present,
 // run the grouped treecode, record statistics.
 func (sim *Simulation) force(s *System) error {
-	if sim.hw != nil {
+	if sim.hw != nil || sim.cluster != nil {
 		// The host re-ranges the fixed-point window every step, exactly
 		// like the real GRAPE library: the sphere expands by ~25x over
 		// the headline run.
@@ -224,10 +249,15 @@ func (sim *Simulation) force(s *System) error {
 			ext = 1
 		}
 		// Margin for the drift within the step.
-		lo := cube.Min.X - 0.05*ext
-		hi := cube.Max.X + 0.05*ext
-		if err := sim.hw.SetScale(min3(lo, cube.Min.Y-0.05*ext, cube.Min.Z-0.05*ext),
-			max3(hi, cube.Max.Y+0.05*ext, cube.Max.Z+0.05*ext)); err != nil {
+		lo := min3(cube.Min.X-0.05*ext, cube.Min.Y-0.05*ext, cube.Min.Z-0.05*ext)
+		hi := max3(cube.Max.X+0.05*ext, cube.Max.Y+0.05*ext, cube.Max.Z+0.05*ext)
+		var err error
+		if sim.cluster != nil {
+			err = sim.cluster.SetScale(lo, hi)
+		} else {
+			err = sim.hw.SetScale(lo, hi)
+		}
+		if err != nil {
 			return err
 		}
 	}
@@ -315,9 +345,13 @@ func (sim *Simulation) Energy() analysis.EnergyReport {
 // at every step boundary; use LastReport for completed-step telemetry.
 func (sim *Simulation) Observer() *obs.Observer { return sim.ob }
 
-// HardwareCounters returns the emulated GRAPE-5 activity counters, or a
-// zero value for host-engine simulations.
+// HardwareCounters returns the emulated GRAPE-5 activity counters —
+// summed across shards for cluster runs — or a zero value for
+// host-engine simulations.
 func (sim *Simulation) HardwareCounters() g5.Counters {
+	if sim.cluster != nil {
+		return sim.cluster.Counters()
+	}
 	if sim.hw == nil {
 		return g5.Counters{}
 	}
@@ -325,12 +359,20 @@ func (sim *Simulation) HardwareCounters() g5.Counters {
 }
 
 // Hardware returns the emulated GRAPE-5 system, or nil for host-engine
-// simulations.
+// and cluster simulations (use Cluster for the latter).
 func (sim *Simulation) Hardware() *g5.System { return sim.hw }
 
-// Recovery returns the guard's fault-handling counters, or a zero
-// value when the simulation does not run the guarded offload path.
+// Cluster returns the sharded cluster engine, or nil unless
+// Config.Shards > 1.
+func (sim *Simulation) Cluster() *g5.Cluster { return sim.cluster }
+
+// Recovery returns the guard's fault-handling counters — summed across
+// shards for cluster runs — or a zero value when the simulation does
+// not run a guarded offload path.
 func (sim *Simulation) Recovery() g5.Recovery {
+	if sim.cluster != nil {
+		return sim.cluster.Recovery()
+	}
 	if sim.guard == nil {
 		return g5.Recovery{}
 	}
@@ -340,8 +382,21 @@ func (sim *Simulation) Recovery() g5.Recovery {
 // FaultStats returns the injected-fault activity counters, or a zero
 // value without fault injection.
 func (sim *Simulation) FaultStats() g5.FaultStats {
+	if sim.cluster != nil {
+		return sim.cluster.FaultStats()
+	}
 	if sim.hw == nil {
 		return g5.FaultStats{}
 	}
 	return sim.hw.FaultStats()
+}
+
+// Close releases engine resources (the cluster's shard workers). It is
+// a no-op for single-system and host-engine simulations, and safe to
+// call more than once.
+func (sim *Simulation) Close() error {
+	if sim.cluster != nil {
+		return sim.cluster.Close()
+	}
+	return nil
 }

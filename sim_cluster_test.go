@@ -1,0 +1,102 @@
+package grape5
+
+import (
+	"math"
+	"testing"
+)
+
+// TestSimulationClusterMatchesSingle: a Shards=2 simulation must evolve
+// bitwise the same trajectory as the single guarded system — the
+// cluster shards along the i-axis only, so no reduction order changes
+// and the integrator sees identical forces every step.
+func TestSimulationClusterMatchesSingle(t *testing.T) {
+	mk := func(shards int) *Simulation {
+		s := Plummer(256, 1, 1, 1, 9)
+		sim, err := NewSimulation(s, Config{
+			Theta: 0.6, Ncrit: 64, G: 1, Eps: 0.05, DT: 0.005,
+			Engine: EngineGRAPE5, Guard: true, Shards: shards,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sim
+	}
+	single, clustered := mk(0), mk(2)
+	defer single.Close()
+	defer clustered.Close()
+	for _, sim := range []*Simulation{single, clustered} {
+		if err := sim.Prime(); err != nil {
+			t.Fatal(err)
+		}
+		if err := sim.Run(3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cl := clustered.Cluster(); cl == nil || cl.Shards() != 2 {
+		t.Fatal("Shards=2 simulation did not build a 2-shard cluster")
+	}
+	if single.Cluster() != nil {
+		t.Error("single-system simulation reports a cluster")
+	}
+	for i := 0; i < single.Sys.N(); i++ {
+		if single.Sys.Pos[i] != clustered.Sys.Pos[i] || single.Sys.Vel[i] != clustered.Sys.Vel[i] {
+			t.Fatalf("particle %d diverged after 3 steps: pos %v vs %v",
+				i, single.Sys.Pos[i], clustered.Sys.Pos[i])
+		}
+	}
+}
+
+// TestSimulationClusterTelemetry: a clustered run must report aggregate
+// hardware counters, summed recovery activity and a critical-path
+// hardware time strictly shorter than the aggregate (two boards really
+// ran concurrently), and survive a double Close.
+func TestSimulationClusterTelemetry(t *testing.T) {
+	s := Plummer(512, 1, 1, 1, 5)
+	sim, err := NewSimulation(s, Config{
+		Theta: 0.6, Ncrit: 256, G: 1, Eps: 0.05, DT: 0.005,
+		Engine: EngineGRAPE5, Guard: true, Shards: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Close()
+	if err := sim.Prime(); err != nil {
+		t.Fatal(err)
+	}
+	e0 := sim.Energy().Total()
+	if err := sim.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	e1 := sim.Energy().Total()
+	if rel := math.Abs(e1-e0) / math.Abs(e0); rel > 0.02 {
+		t.Errorf("clustered GRAPE energy drift = %v", rel)
+	}
+
+	cl := sim.Cluster()
+	c := sim.HardwareCounters()
+	if c.Interactions == 0 || c.Runs == 0 {
+		t.Errorf("cluster hardware idle: %+v", c)
+	}
+	loads := cl.ShardInteractions()
+	var sum int64
+	for _, l := range loads {
+		sum += l
+	}
+	if sum == 0 || loads[0] == 0 || loads[1] == 0 {
+		t.Errorf("shard loads %v: a board sat idle for the whole run", loads)
+	}
+	crit, agg := cl.CriticalHWSeconds(), c.HWSeconds()
+	if !(crit > 0) || !(crit < agg) {
+		t.Errorf("critical-path hw time %v not in (0, aggregate %v)", crit, agg)
+	}
+	rec := sim.Recovery()
+	if rec.Checks == 0 {
+		t.Errorf("clustered run recorded no acceptance checks: %v", rec)
+	}
+	if err := sim.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	if err := sim.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
