@@ -1,0 +1,37 @@
+# Developer entry points. CI runs the same commands (.github/workflows/ci.yml).
+
+GO  ?= go
+BIN := bin
+
+.PHONY: all build test race lint bench-smoke clean
+
+all: build test lint
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+$(BIN)/grapelint: $(wildcard cmd/grapelint/*.go) $(wildcard internal/lint/*.go)
+	$(GO) build -o $@ ./cmd/grapelint
+
+# lint runs the domain-invariant analyzer suite (DESIGN.md §10) both
+# standalone and through the go vet driver, so the vettool protocol
+# stays exercised.
+lint: $(BIN)/grapelint
+	$(BIN)/grapelint ./...
+	$(GO) vet -vettool=$(abspath $(BIN)/grapelint) ./...
+
+# bench-smoke mirrors the CI bench job: a small sweep plus schema
+# validation of the fresh and committed bench records.
+bench-smoke:
+	$(GO) run ./cmd/bench -smoke -boards 1,2 -out /tmp/bench-smoke.json
+	$(GO) run ./cmd/bench -validate /tmp/bench-smoke.json
+	$(GO) run ./cmd/bench -validate BENCH_treecode.json
+
+clean:
+	rm -rf $(BIN)

@@ -42,11 +42,14 @@ func main() {
 	flag.Parse()
 
 	// --- Pairwise pipeline error (hardware arithmetic alone) ---------
-	sys, err := g5.NewSystem(g5.DefaultConfig())
+	// Through the host-library call sequence (g5_open / g5_set_range /
+	// g5_set_xmj / g5_calculate_force_on_x), not raw register access:
+	// the j-particle is rewritten at address 0 each pair.
+	drv, err := g5.Open(g5.DefaultConfig())
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := sys.SetScale(-100, 100); err != nil {
+	if err := drv.SetRange(-100, 100); err != nil {
 		log.Fatal(err)
 	}
 	r := rng.New(*seed)
@@ -58,7 +61,10 @@ func main() {
 		m := math.Exp(r.Uniform(-3, 3))
 		acc := make([]vec.V3, 1)
 		pot := make([]float64, 1)
-		if err := sys.Compute([]vec.V3{pi}, []vec.V3{pj}, []float64{m}, acc, pot); err != nil {
+		if err := drv.SetXMJ(0, []vec.V3{pj}, []float64{m}); err != nil {
+			log.Fatal(err)
+		}
+		if err := drv.CalculateForceOnX([]vec.V3{pi}, acc, pot); err != nil {
 			log.Fatal(err)
 		}
 		d := pj.Sub(pi)
@@ -70,6 +76,9 @@ func main() {
 		rel := acc[0].Sub(exact).Norm() / exact.Norm()
 		sum2 += rel * rel
 		count++
+	}
+	if err := drv.Close(); err != nil {
+		log.Fatal(err)
 	}
 	fmt.Printf("pairwise pipeline force error: %.3f%% RMS over %d pairs (paper §2: ~0.3%%)\n\n",
 		100*math.Sqrt(sum2/float64(count)), count)
@@ -129,7 +138,9 @@ func runTree(model, ref *nbody.System, theta float64, ncrit int, eps float64, hw
 		if err := sys.SetScale(lo, hi); err != nil {
 			log.Fatal(err)
 		}
-		sys.SetEps(eps)
+		if err := sys.SetEps(eps); err != nil {
+			log.Fatal(err)
+		}
 		engine = g5.NewEngine(sys, 1)
 	}
 	tc := core.New(core.Options{Theta: theta, Ncrit: ncrit, G: 1, Eps: eps}, engine)

@@ -233,7 +233,7 @@ func runSweep(spec sweepSpec, ncrits []int) (obs.BenchSweep, error) {
 
 // measurePoint runs one simulation at group bound ng for spec.steps
 // steps and averages the per-step telemetry.
-func measurePoint(spec sweepSpec, ng int, host perf.HostModel) (obs.BenchPoint, error) {
+func measurePoint(spec sweepSpec, ng int, host perf.HostModel) (_ obs.BenchPoint, err error) {
 	sys, g, eps, dt := spec.make()
 	cfg := grape5.Config{
 		Theta: spec.theta, Ncrit: ng, G: g, Eps: eps, DT: dt,
@@ -246,7 +246,13 @@ func measurePoint(spec sweepSpec, ng int, host perf.HostModel) (obs.BenchPoint, 
 	if err != nil {
 		return obs.BenchPoint{}, err
 	}
-	defer sim.Close()
+	// A Close failure means shard workers leaked mid-sweep; surface it
+	// unless the measurement already failed for another reason.
+	defer func() {
+		if cerr := sim.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
 	// Prime outside the measurement: the paper's per-step numbers are
 	// steady-state, not first-call.
 	if err := sim.Prime(); err != nil {

@@ -1,0 +1,81 @@
+// Command grapelint is the repository's domain-invariant multichecker:
+// it runs the internal/lint analyzer suite (nondeterminism,
+// g5contract, g5format, obsspan, errdiscipline) over Go packages.
+//
+// Standalone:
+//
+//	grapelint ./...          # lint the module (exit 1 on findings)
+//	grapelint -list          # describe the analyzers
+//
+// As a vet tool (one package per invocation, driven by the go command):
+//
+//	go build -o bin/grapelint ./cmd/grapelint
+//	go vet -vettool=$PWD/bin/grapelint ./...
+//
+// Intentional violations are suppressed in place with
+// `//lint:ignore <analyzer> <reason>`; see DESIGN.md §10 for the
+// policy.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	listFlag := flag.Bool("list", false, "describe the analyzers and exit")
+	versionFlag := flag.String("V", "", "print version (go vet tool protocol)")
+	flagsFlag := flag.Bool("flags", false, "print flag description JSON (go vet tool protocol)")
+	flag.Parse()
+
+	switch {
+	case *flagsFlag:
+		fmt.Println("[]")
+		return
+	case *versionFlag != "":
+		printVersion()
+		return
+	case *listFlag:
+		for _, a := range lint.All() {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	args := flag.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(runVetUnit(args[0]))
+	}
+	os.Exit(runStandalone(args))
+}
+
+// runStandalone lints the packages matching the patterns (default the
+// whole module) and prints findings like a compiler would.
+func runStandalone(patterns []string) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	loader := lint.NewLoader("")
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	diags, err := lint.Run(pkgs, lint.All())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s: %s\n", loader.Fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "grapelint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

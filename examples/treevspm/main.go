@@ -80,7 +80,9 @@ func main() {
 	if err := hw.SetScale(lo, hi); err != nil {
 		log.Fatal(err)
 	}
-	hw.SetEps(soft)
+	if err := hw.SetEps(soft); err != nil {
+		log.Fatal(err)
+	}
 	t0 = time.Now()
 	tc := core.New(core.Options{Theta: 0.75, Ncrit: 256, G: grape5.G, Eps: soft}, g5.NewEngine(hw, grape5.G))
 	if _, err := tc.ComputeForces(tree); err != nil {

@@ -30,10 +30,15 @@ func Open(cfg Config) (*Driver, error) {
 	return &Driver{sys: sys, open: true}, nil
 }
 
-// Close releases the hardware (g5_close). Further calls fail.
-func (d *Driver) Close() {
+// Close releases the hardware (g5_close). Closing an already-closed
+// driver is a no-op; any other device call after Close fails. The
+// error return mirrors the real host library, where releasing the PCI
+// interface can fail — the emulation has nothing to release, so the
+// error is always nil today, but callers must already handle it.
+func (d *Driver) Close() error {
 	d.open = false
 	d.jx, d.jm = nil, nil
+	return nil
 }
 
 // System exposes the underlying emulated hardware (counters, config).

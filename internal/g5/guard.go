@@ -191,7 +191,9 @@ func (e *GuardedEngine) fallback(req *core.Request) {
 func (e *GuardedEngine) abandonHardware() {
 	for b := 0; b < e.sys.Config().Boards; b++ {
 		if !e.sys.BoardExcluded(b) {
-			e.sys.SetBoardExcluded(b, true)
+			// b ranges over Config().Boards, so the only SetBoardExcluded
+			// failure (index out of range) cannot occur.
+			_ = e.sys.SetBoardExcluded(b, true)
 			e.rec.ExcludedBoards++
 			e.obs.Add(obs.CntRecoveries, 1)
 		}
@@ -217,13 +219,15 @@ func (e *GuardedEngine) tryHardware(req *core.Request) bool {
 			if e.sys.BoardExcluded(b) {
 				continue
 			}
-			e.sys.SetBoardExcluded(b, true)
+			// b ranges over Config().Boards, so the only SetBoardExcluded
+			// failure (index out of range) cannot occur.
+			_ = e.sys.SetBoardExcluded(b, true)
 			if e.computeVerified(req) {
 				e.rec.ExcludedBoards++
 				e.obs.Add(obs.CntRecoveries, 1)
 				return true
 			}
-			e.sys.SetBoardExcluded(b, false)
+			_ = e.sys.SetBoardExcluded(b, false)
 		}
 	}
 	return false

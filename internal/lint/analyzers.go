@@ -1,0 +1,12 @@
+package lint
+
+// All returns the full analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		AnalyzerNondeterminism,
+		AnalyzerG5Contract,
+		AnalyzerG5Format,
+		AnalyzerObsSpan,
+		AnalyzerErrDiscipline,
+	}
+}

@@ -1,0 +1,169 @@
+// Package lint is the repository's domain-invariant static analysis
+// suite: a small analyzer framework (mirroring the shape of
+// golang.org/x/tools/go/analysis, but built only on the standard
+// library so the module stays dependency-free) plus the analyzers that
+// protect the paper-level invariants the compiler cannot see —
+// bit-reproducibility of the treecode, the GRAPE-5 host-library call
+// contract, reduced-precision format hygiene, telemetry span pairing
+// and error discipline on the hardware paths.
+//
+// The analyzers run over type-checked packages loaded by Loader (see
+// load.go) and are driven by cmd/grapelint, both standalone
+// (`grapelint ./...`) and as a `go vet -vettool`.
+//
+// # Suppression policy
+//
+// A finding that is intentional is suppressed in place with
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// on the flagged line or the line directly above it. The analyzer name
+// may be a comma-separated list; the reason is mandatory — a bare
+// ignore is itself a finding. DESIGN.md §10 documents when suppression
+// is acceptable.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one static check. Run inspects a single package through
+// its Pass and reports findings with Pass.Reportf.
+type Analyzer struct {
+	// Name is the short identifier used in diagnostics and ignore
+	// comments (e.g. "nondeterminism").
+	Name string
+	// Doc is the one-line description shown by `grapelint -list`.
+	Doc string
+	// Run performs the analysis on one package.
+	Run func(*Pass) error
+}
+
+// Pass carries one type-checked package through an Analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding of one analyzer.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Run applies the analyzers to each package and returns the surviving
+// findings (ignore comments applied), sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				diags:    &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+		diags = applyIgnores(pkg, diags)
+	}
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags, nil
+}
+
+// ignoreRe matches "//lint:ignore name1,name2 reason..." — the reason
+// is mandatory, mirroring staticcheck's convention.
+var ignoreRe = regexp.MustCompile(`^//\s*lint:ignore\s+(\S+)\s+\S`)
+
+// applyIgnores drops findings covered by an ignore comment on the same
+// line or the line directly above.
+func applyIgnores(pkg *Package, diags []Diagnostic) []Diagnostic {
+	// line key "file:line" -> set of ignored analyzer names.
+	ignored := map[string]map[string]bool{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				names := map[string]bool{}
+				for _, n := range strings.Split(m[1], ",") {
+					names[n] = true
+				}
+				// The comment covers its own line and the next one, so
+				// it works both inline and as a line above.
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					key := fmt.Sprintf("%s:%d", pos.Filename, line)
+					if ignored[key] == nil {
+						ignored[key] = map[string]bool{}
+					}
+					for n := range names {
+						ignored[key][n] = true
+					}
+				}
+			}
+		}
+	}
+	if len(ignored) == 0 {
+		return diags
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+		if s := ignored[key]; s != nil && (s[d.Analyzer] || s["all"]) {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}
+
+// physicsPackages is the import-path set whose results must be
+// bit-reproducible: everything that touches particle state, forces or
+// the hardware model. The nondeterminism and g5format analyzers only
+// fire inside this set.
+var physicsPackages = map[string]bool{
+	"repro/internal/core":      true,
+	"repro/internal/octree":    true,
+	"repro/internal/g5":        true,
+	"repro/internal/integrate": true,
+	"repro/internal/nbody":     true,
+	"repro/internal/cosmo":     true,
+	"repro/internal/pm":        true,
+	"repro/internal/morton":    true,
+	"repro/internal/vec":       true,
+}
+
+// g5Path is the hardware package; several analyzers key on it.
+const g5Path = "repro/internal/g5"
+
+// rootPath is the module's root package (the public simulation API).
+const rootPath = "repro"

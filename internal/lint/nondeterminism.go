@@ -1,0 +1,192 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerNondeterminism protects the bit-reproducibility the §2
+// accuracy and §3 time-balance results rest on: inside the physics
+// packages it flags the classic sources of run-to-run divergence —
+// wall-clock values flowing into anything but duration measurement,
+// the process-global math/rand generator, iteration over maps, and
+// goroutines appending to shared slices (collection order is
+// scheduler-dependent).
+//
+// time.Now is allowed when the value is used only to measure elapsed
+// time (time.Since or Time.Sub): wall-clock *measurement* cannot
+// perturb simulation state, while a timestamp seeding an RNG or
+// ordering results can.
+var AnalyzerNondeterminism = &Analyzer{
+	Name: "nondeterminism",
+	Doc:  "flag nondeterminism sources (time.Now, global math/rand, map iteration, unordered goroutine collection) in physics packages",
+	Run:  runNondeterminism,
+}
+
+func runNondeterminism(pass *Pass) error {
+	if !physicsPackages[pass.Pkg.Path()] {
+		return nil
+	}
+	for _, file := range pass.Files {
+		parents := buildParents(file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkTimeNow(pass, parents, n)
+			case *ast.SelectorExpr:
+				checkGlobalRand(pass, n)
+			case *ast.RangeStmt:
+				checkMapRange(pass, n)
+			case *ast.GoStmt:
+				checkGoroutineCollection(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkTimeNow flags time.Now calls whose result escapes pure duration
+// measurement.
+func checkTimeNow(pass *Pass, parents map[ast.Node]ast.Node, call *ast.CallExpr) {
+	f := calleeFunc(pass.Info, call)
+	if f == nil || f.Name() != "Now" || funcPkgPath(f) != "time" {
+		return
+	}
+	// The only allowed shape: `t := time.Now()` (single assignment)
+	// where every later use of t is time.Since(t) or a Time.Sub
+	// operand.
+	assign, ok := parents[call].(*ast.AssignStmt)
+	if ok && len(assign.Lhs) == 1 && len(assign.Rhs) == 1 && assign.Rhs[0] == call {
+		if id, isIdent := assign.Lhs[0].(*ast.Ident); isIdent {
+			obj := pass.Info.ObjectOf(id)
+			if obj != nil && timeVarOnlyMeasures(pass, parents, obj, enclosingFunc(parents, call)) {
+				return
+			}
+		}
+	}
+	pass.Reportf(call.Pos(), "time.Now in a physics package feeds more than a duration measurement; wall-clock values must not influence simulation state (use obs spans or time.Since for telemetry)")
+}
+
+// timeVarOnlyMeasures reports whether every use of obj inside fn is a
+// duration measurement: an argument to time.Since, or an operand of
+// (time.Time).Sub.
+func timeVarOnlyMeasures(pass *Pass, parents map[ast.Node]ast.Node, obj types.Object, fn ast.Node) bool {
+	if fn == nil {
+		return false
+	}
+	clean := true
+	ast.Inspect(fn, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || pass.Info.Uses[id] != obj {
+			return true
+		}
+		switch p := parents[id].(type) {
+		case *ast.CallExpr:
+			// time.Since(t) or other.Sub(t)
+			if f := calleeFunc(pass.Info, p); f != nil {
+				if f.Name() == "Since" && funcPkgPath(f) == "time" {
+					return true
+				}
+				if f.Name() == "Sub" && funcPkgPath(f) == "time" {
+					return true
+				}
+			}
+		case *ast.SelectorExpr:
+			// t.Sub(other)
+			if f, isFn := pass.Info.Uses[p.Sel].(*types.Func); isFn &&
+				f.Name() == "Sub" && funcPkgPath(f) == "time" {
+				return true
+			}
+		}
+		clean = false
+		return true
+	})
+	return clean
+}
+
+// randConstructors are math/rand functions that build an explicitly
+// seeded local generator — the sanctioned path (internal/rng wraps it).
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+// checkGlobalRand flags references to the process-global math/rand
+// generator.
+func checkGlobalRand(pass *Pass, sel *ast.SelectorExpr) {
+	f, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return
+	}
+	pkg := funcPkgPath(f)
+	if pkg != "math/rand" && pkg != "math/rand/v2" {
+		return
+	}
+	sig, _ := f.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		return // methods on an explicit *rand.Rand instance are fine
+	}
+	if randConstructors[f.Name()] {
+		return
+	}
+	pass.Reportf(sel.Pos(), "global math/rand %s in a physics package: the shared generator makes runs irreproducible; use internal/rng (seeded) instead", f.Name())
+}
+
+// checkMapRange flags iteration over maps: Go randomises the order, so
+// any value it feeds — list building, accumulation in floating point,
+// output — diverges between runs.
+func checkMapRange(pass *Pass, rng *ast.RangeStmt) {
+	t := pass.Info.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); ok {
+		pass.Reportf(rng.Pos(), "map iteration in a physics package is order-nondeterministic; iterate a sorted key slice instead")
+	}
+}
+
+// checkGoroutineCollection flags goroutine bodies that append to a
+// slice declared outside the goroutine: completion order decides the
+// element order. Indexed writes (totals[w] = ...) are the
+// deterministic idiom and pass.
+func checkGoroutineCollection(pass *Pass, g *ast.GoStmt) {
+	lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+	if !ok {
+		return
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range assign.Rhs {
+			call, isCall := ast.Unparen(rhs).(*ast.CallExpr)
+			if !isCall {
+				continue
+			}
+			id, isIdent := ast.Unparen(call.Fun).(*ast.Ident)
+			if !isIdent || id.Name != "append" {
+				continue
+			}
+			if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); !isBuiltin {
+				continue
+			}
+			if i >= len(assign.Lhs) {
+				continue
+			}
+			target, isIdent := ast.Unparen(assign.Lhs[i]).(*ast.Ident)
+			if !isIdent {
+				continue
+			}
+			obj := pass.Info.ObjectOf(target)
+			if obj == nil {
+				continue
+			}
+			if obj.Pos() < lit.Pos() || obj.Pos() > lit.End() {
+				pass.Reportf(assign.Pos(), "goroutine appends to shared slice %s: completion order decides element order; write to an indexed slot or merge deterministically after Wait", target.Name)
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,185 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AnalyzerObsSpan keeps the §3 time-balance telemetry honest: an
+// obs.Observer.Start span that is dropped, never stopped, or stopped
+// past an early return under-reports its phase, and the bench
+// harness's measured-vs-model agreement check would chase a phantom
+// imbalance. The analyzer requires every span to end on all return
+// paths:
+//
+//   - `defer o.Start(p).Stop()` and `t := o.Start(p); defer t.Stop()`
+//     always pass;
+//   - a non-deferred t.Stop() passes only when no return statement sits
+//     between Start and Stop (straight-line spans over a partial
+//     region, the guard's retry idiom);
+//   - a discarded Start result or a timer without any Stop is flagged.
+var AnalyzerObsSpan = &Analyzer{
+	Name: "obsspan",
+	Doc:  "require obs phase spans to be stopped on every return path (defer idiom)",
+	Run:  runObsSpan,
+}
+
+const obsPath = "repro/internal/obs"
+
+func runObsSpan(pass *Pass) error {
+	for _, file := range pass.Files {
+		parents := buildParents(file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			fn, ok := n.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				return true
+			}
+			checkSpans(pass, parents, fn)
+			return false
+		})
+	}
+	return nil
+}
+
+// isObsStart reports whether call is obs.Observer.Start.
+func isObsStart(pass *Pass, call *ast.CallExpr) bool {
+	f := calleeFunc(pass.Info, call)
+	if f == nil || f.Name() != "Start" {
+		return false
+	}
+	pkg, typ, ok := recvNamed(f)
+	return ok && pkg == obsPath && typ == "Observer"
+}
+
+// isTimerStop reports whether call is obs.Timer.Stop and returns its
+// receiver expression.
+func isTimerStop(pass *Pass, call *ast.CallExpr) (ast.Expr, bool) {
+	f := calleeFunc(pass.Info, call)
+	if f == nil || f.Name() != "Stop" {
+		return nil, false
+	}
+	if pkg, typ, ok := recvNamed(f); !ok || pkg != obsPath || typ != "Timer" {
+		return nil, false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, false
+	}
+	return sel.X, true
+}
+
+// checkSpans verifies every Start inside fn (closures included).
+func checkSpans(pass *Pass, parents map[ast.Node]ast.Node, fn *ast.FuncDecl) {
+	// First index all Stop calls by the timer object they stop.
+	type stopSite struct {
+		pos      token.Pos
+		deferred bool
+	}
+	stops := map[types.Object][]stopSite{}
+	ast.Inspect(fn, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		recv, ok := isTimerStop(pass, call)
+		if !ok {
+			return true
+		}
+		if id, isIdent := ast.Unparen(recv).(*ast.Ident); isIdent {
+			if obj := pass.Info.ObjectOf(id); obj != nil {
+				stops[obj] = append(stops[obj], stopSite{pos: call.Pos(), deferred: isDeferred(parents, call)})
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fn, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isObsStart(pass, call) {
+			return true
+		}
+		switch p := parents[call].(type) {
+		case *ast.ExprStmt:
+			pass.Reportf(call.Pos(), "obs span started and dropped: the phase never accumulates; use `defer o.Start(p).Stop()`")
+			return true
+		case *ast.SelectorExpr:
+			// o.Start(p).Stop() — fine when deferred, pointless inline.
+			if stop := stopOf(parents, p); stop != nil {
+				if _, isStop := isTimerStop(pass, stop); isStop {
+					if !isDeferred(parents, call) {
+						pass.Reportf(call.Pos(), "obs span stopped immediately: the phase measures nothing; defer the Stop")
+					}
+					return true
+				}
+			}
+		case *ast.AssignStmt:
+			id := timerTarget(p, call)
+			if id == nil {
+				return true
+			}
+			obj := pass.Info.ObjectOf(id)
+			if obj == nil {
+				return true
+			}
+			sites := stops[obj]
+			if len(sites) == 0 {
+				pass.Reportf(call.Pos(), "obs span %s is never stopped: the phase never accumulates; add `defer %s.Stop()`", id.Name, id.Name)
+				return true
+			}
+			for _, s := range sites {
+				if s.deferred {
+					return true
+				}
+			}
+			// Non-deferred stops only: every return between Start and
+			// the last Stop leaks the span.
+			last := sites[len(sites)-1].pos
+			if ret := returnBetween(parents, fn, call, last); ret.IsValid() {
+				pass.Reportf(call.Pos(), "obs span %s leaks on the return at %s before its Stop; use `defer %s.Stop()`", id.Name, pass.Fset.Position(ret), id.Name)
+			}
+		}
+		return true
+	})
+}
+
+// stopOf returns the call expression a selector participates in
+// (x.Sel(...)), or nil.
+func stopOf(parents map[ast.Node]ast.Node, sel *ast.SelectorExpr) *ast.CallExpr {
+	call, _ := parents[sel].(*ast.CallExpr)
+	if call == nil || ast.Unparen(call.Fun) != ast.Node(sel) {
+		return nil
+	}
+	return call
+}
+
+// timerTarget returns the identifier the Start result is assigned to.
+func timerTarget(assign *ast.AssignStmt, call *ast.CallExpr) *ast.Ident {
+	for i, rhs := range assign.Rhs {
+		if ast.Unparen(rhs) == ast.Node(call) && i < len(assign.Lhs) {
+			id, _ := ast.Unparen(assign.Lhs[i]).(*ast.Ident)
+			return id
+		}
+	}
+	return nil
+}
+
+// returnBetween finds a return statement positioned between the Start
+// call and hi that belongs to the same function literal/declaration as
+// the span — returns of unrelated nested closures defined in the
+// window do not leak the span.
+func returnBetween(parents map[ast.Node]ast.Node, fn *ast.FuncDecl, start *ast.CallExpr, hi token.Pos) token.Pos {
+	startFn := enclosingFunc(parents, start)
+	found := token.NoPos
+	ast.Inspect(fn, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || ret.Pos() <= start.Pos() || ret.Pos() >= hi || found.IsValid() {
+			return true
+		}
+		if enclosingFunc(parents, ret) == startFn {
+			found = ret.Pos()
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,70 @@
+package lint_test
+
+import (
+	"os/exec"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// moduleRoot is the repository root relative to this package.
+const moduleRoot = "../.."
+
+// TestRepoIsLintClean runs the full analyzer suite over the module
+// in-process and requires zero findings: every invariant the analyzers
+// encode holds on the tree that defines them.
+func TestRepoIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	loader := lint.NewLoader(moduleRoot)
+	pkgs, err := loader.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.Run(pkgs, lint.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s: %s: %s", loader.Fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+}
+
+// TestGrapelintCommand exercises the standalone entry point end to end:
+// `grapelint ./...` must exit 0 on the repository.
+func TestGrapelintCommand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs cmd/grapelint; skipped in -short")
+	}
+	cmd := exec.Command("go", "run", "./cmd/grapelint", "./...")
+	cmd.Dir = moduleRoot
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("grapelint ./... failed: %v\n%s", err, out)
+	}
+}
+
+// TestVetToolProtocol drives grapelint through the go command's
+// -vettool protocol (version probe, per-package .cfg invocation, facts
+// file) against one real package.
+func TestVetToolProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds cmd/grapelint and runs go vet; skipped in -short")
+	}
+	bin := filepath.Join(t.TempDir(), "grapelint")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/grapelint")
+	build.Dir = moduleRoot
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building grapelint: %v\n%s", err, out)
+	}
+	abs, err := filepath.Abs(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vet := exec.Command("go", "vet", "-vettool="+abs, "./internal/g5")
+	vet.Dir = moduleRoot
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool failed: %v\n%s", err, out)
+	}
+}

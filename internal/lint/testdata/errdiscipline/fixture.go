@@ -1,0 +1,53 @@
+// Package fixture seeds discarded errors on the hardware and
+// simulation surfaces, next to the sanctioned handling shapes and the
+// suppression directive.
+package fixture
+
+import (
+	"fmt"
+
+	grape5 "repro"
+	g5 "repro/internal/g5"
+)
+
+// discarded drops the error of a watched call in statement position.
+func discarded(d *g5.Driver, eps float64) {
+	d.SetEpsToAll(eps) // want "error from Driver.SetEpsToAll discarded"
+}
+
+// deferredClose hides a Close failure behind defer.
+func deferredClose(sim *grape5.Simulation) {
+	defer sim.Close() // want "defer discards the error from Simulation.Close"
+}
+
+// goClose loses the error on a goroutine boundary.
+func goClose(d *g5.Driver) {
+	go d.Close() // want "error from Driver.Close discarded"
+}
+
+// blankFault throws away the typed fault classification.
+func blankFault(herr *g5.HardwareError) {
+	_ = herr // want "HardwareError dropped into _"
+}
+
+// handled propagates: the correct shape.
+func handled(d *g5.Driver, eps float64) error {
+	return d.SetEpsToAll(eps)
+}
+
+// sanctioned uses the explicit blank assignment with a justification.
+func sanctioned(d *g5.Driver) {
+	// Close of the emulated driver cannot fail (see g5/driver.go).
+	_ = d.Close()
+}
+
+// suppressed demonstrates the in-place ignore directive.
+func suppressed(d *g5.Driver, eps float64) {
+	//lint:ignore errdiscipline fixture demonstrates the suppression policy
+	d.SetEpsToAll(eps)
+}
+
+// unwatched packages keep their usual rules: fmt's error is droppable.
+func unwatched() {
+	fmt.Println("ok")
+}

@@ -1,0 +1,12 @@
+// Package fixture stands in for internal/g5's format.go: bit
+// manipulation is this file's charter, so the analyzer must stay
+// silent. The test type-checks it under the internal/g5 import path
+// with this file name.
+package fixture
+
+import "math"
+
+// round clears the low mantissa bit the way the real helpers do.
+func round(v float64) float64 {
+	return math.Float64frombits(math.Float64bits(v) &^ 1)
+}

@@ -1,0 +1,92 @@
+// Package fixture seeds every violation class the nondeterminism
+// analyzer covers, next to the sanctioned spelling of each. The test
+// type-checks it under a physics import path.
+package fixture
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// seedFromClock lets the wall clock flow into simulation state.
+func seedFromClock() int64 {
+	t := time.Now() // want "time.Now in a physics package"
+	return t.UnixNano()
+}
+
+// measureOnly is the sanctioned telemetry shape: the timestamp feeds
+// nothing but a duration.
+func measureOnly() time.Duration {
+	t := time.Now()
+	return time.Since(t)
+}
+
+// subOnly measures with Time.Sub, the other allowed use.
+func subOnly(end time.Time) time.Duration {
+	t := time.Now()
+	return end.Sub(t)
+}
+
+// globalRand draws from the process-global generator.
+func globalRand() float64 {
+	return rand.Float64() // want "global math/rand Float64"
+}
+
+// localRand draws from an explicitly seeded local generator.
+func localRand() float64 {
+	r := rand.New(rand.NewSource(1))
+	return r.Float64()
+}
+
+// mapOrder accumulates in map-iteration order.
+func mapOrder(m map[int]float64) float64 {
+	var s float64
+	for _, v := range m { // want "map iteration in a physics package"
+		s += v
+	}
+	return s
+}
+
+// sortedOrder iterates a key slice: deterministic.
+func sortedOrder(keys []int, m map[int]float64) float64 {
+	var s float64
+	for _, k := range keys {
+		s += m[k]
+	}
+	return s
+}
+
+// collectUnordered appends from goroutines: completion order decides
+// element order even under the mutex.
+func collectUnordered(n int) []float64 {
+	var out []float64
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			mu.Lock()
+			out = append(out, float64(i)) // want "appends to shared slice out"
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+// collectIndexed writes each result to its own slot: deterministic.
+func collectIndexed(n int) []float64 {
+	out := make([]float64, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i] = float64(i)
+		}(i)
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,26 @@
+// Package fixture exercises path scoping: the constructs the
+// nondeterminism analyzer flags in physics packages are legal in the
+// cmd layer, where randomness cannot perturb particle state. The test
+// type-checks it under a non-physics import path and expects zero
+// findings.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Jitter is fine outside the physics set.
+func Jitter() float64 { return rand.Float64() }
+
+// Stamp is fine outside the physics set.
+func Stamp() int64 { return time.Now().UnixNano() }
+
+// Sum may iterate a map outside the physics set.
+func Sum(m map[string]int) int {
+	s := 0
+	for _, v := range m {
+		s += v
+	}
+	return s
+}

@@ -1,0 +1,73 @@
+// Package fixture seeds every span-pairing mistake the obsspan
+// analyzer covers, next to the sanctioned idioms.
+package fixture
+
+import (
+	"errors"
+
+	"repro/internal/obs"
+)
+
+var errFail = errors.New("fail")
+
+func work() {}
+
+// deferredIdiom is the canonical span shape.
+func deferredIdiom(o *obs.Observer) {
+	defer o.Start(obs.PhaseMortonSort).Stop()
+	work()
+}
+
+// twoStep defers the Stop of an assigned timer.
+func twoStep(o *obs.Observer) {
+	t := o.Start(obs.PhaseMortonSort)
+	defer t.Stop()
+	work()
+}
+
+// straightLine stops without defer but with no return in between —
+// the guard's partial-region idiom.
+func straightLine(o *obs.Observer) {
+	t := o.Start(obs.PhaseMortonSort)
+	work()
+	t.Stop()
+}
+
+// dropped starts a span and throws the timer away.
+func dropped(o *obs.Observer) {
+	o.Start(obs.PhaseMortonSort) // want "started and dropped"
+	work()
+}
+
+// inlineStop stops in the same expression without defer: zero width.
+func inlineStop(o *obs.Observer) {
+	o.Start(obs.PhaseMortonSort).Stop() // want "measures nothing"
+	work()
+}
+
+// neverStopped keeps the timer but never ends the span.
+func neverStopped(o *obs.Observer) {
+	t := o.Start(obs.PhaseMortonSort) // want "never stopped"
+	_ = t
+	work()
+}
+
+// leaks returns between Start and a non-deferred Stop.
+func leaks(o *obs.Observer, fail bool) error {
+	t := o.Start(obs.PhaseMortonSort) // want "leaks on the return at"
+	if fail {
+		return errFail
+	}
+	t.Stop()
+	return nil
+}
+
+// nestedReturnOK: a return belonging to an inner closure does not leak
+// the outer span.
+func nestedReturnOK(o *obs.Observer) int {
+	t := o.Start(obs.PhaseMortonSort)
+	f := func() int { return 1 }
+	n := f()
+	t.Stop()
+	return n
+}

@@ -31,6 +31,7 @@ func (e *ScheduleEngine) System() *g5.System { return e.sys }
 // Accumulate implements core.Engine.
 func (e *ScheduleEngine) Accumulate(req *core.Request) {
 	e.mu.Lock()
+	//lint:ignore g5contract perf replays schedules through the timing model; ChargeOnly is its charter
 	e.sys.ChargeOnly(len(req.IPos), len(req.JPos))
 	e.mu.Unlock()
 }

@@ -1,6 +1,7 @@
 package grape5
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -164,8 +165,7 @@ func NewSimulation(sys *System, cfg Config) (*Simulation, error) {
 				return nil, err
 			}
 			if err := cl.SetEps(cfg.Eps); err != nil {
-				cl.Close()
-				return nil, err
+				return nil, errors.Join(err, cl.Close())
 			}
 			cl.SetObserver(sim.ob)
 			sim.cluster = cl
