@@ -3,7 +3,7 @@
 GO  ?= go
 BIN := bin
 
-.PHONY: all build test race lint bench-smoke clean
+.PHONY: all build test race lint bench-smoke bench-alloc clean
 
 all: build test lint
 
@@ -32,6 +32,16 @@ bench-smoke:
 	$(GO) run ./cmd/bench -smoke -boards 1,2 -out /tmp/bench-smoke.json
 	$(GO) run ./cmd/bench -validate /tmp/bench-smoke.json
 	$(GO) run ./cmd/bench -validate BENCH_treecode.json
+
+# bench-alloc gates the arena step pipeline (DESIGN.md §11): the
+# steady-state allocation budget and the parallel-build conformance
+# property, both at GOMAXPROCS=1 and GOMAXPROCS=4 so scheduler width
+# cannot mask a regression.
+bench-alloc:
+	GOMAXPROCS=1 $(GO) test -count=1 -run 'TestStepAllocs|TestBuildSteadyStateAllocs' . ./internal/octree
+	GOMAXPROCS=4 $(GO) test -count=1 -run 'TestStepAllocs|TestBuildSteadyStateAllocs' . ./internal/octree
+	GOMAXPROCS=1 $(GO) test -count=1 -run 'TestBuildParallelMatchesSerial|TestBuilderReuseMatchesFresh' ./internal/octree
+	GOMAXPROCS=4 $(GO) test -count=1 -run 'TestBuildParallelMatchesSerial|TestBuilderReuseMatchesFresh' ./internal/octree
 
 clean:
 	rm -rf $(BIN)

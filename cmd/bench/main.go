@@ -268,6 +268,8 @@ func measurePoint(spec sweepSpec, ng int, host perf.HostModel) (_ obs.BenchPoint
 		r := sim.LastReport
 		mod := perf.StepFromObs(host, &sim.LastStats, r)
 		p.THostWall += r.THost
+		p.TBuild += r.TBuild
+		p.BytesAllocPerStep += float64(r.BytesAlloc)
 		p.TGrape += r.TGrape
 		p.TComm += r.TComm
 		hostModel += mod.HostSeconds
@@ -285,6 +287,8 @@ func measurePoint(spec sweepSpec, ng int, host perf.HostModel) (_ obs.BenchPoint
 	}
 	k := float64(spec.steps)
 	p.THostWall /= k
+	p.TBuild /= k
+	p.BytesAllocPerStep /= k
 	p.TGrape /= k
 	p.TComm /= k
 	p.THostModel = hostModel / k

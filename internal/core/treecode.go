@@ -8,6 +8,7 @@ import (
 	"runtime/pprof"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/nbody"
@@ -105,17 +106,53 @@ func (s *Stats) AvgList() float64 {
 }
 
 // Treecode runs tree-based force calculations over a particle system.
+// It owns the reusable step scratch — the octree Builder's arenas, the
+// per-worker traversal buffers and the cached pprof label contexts —
+// so that steady-state ComputeForces calls are allocation-free apart
+// from the Stats and Tree headers. A Treecode must not be shared by
+// concurrent callers.
 type Treecode struct {
 	Opt    Options
 	Engine Engine
 
 	// Tree is the most recently built octree (valid after a Compute*
-	// call; reused by callers needing group geometry).
+	// call; reused by callers needing group geometry). Trees from
+	// ComputeForces borrow the internal Builder's arena and are
+	// overwritten by the next full rebuild.
 	Tree *octree.Tree
 
 	// sinceBuild counts ComputeForces calls since the last full
 	// rebuild, for the RebuildEvery reuse policy.
 	sinceBuild int
+
+	// builder is the reused tree constructor; recreated only when the
+	// options it bakes in change.
+	builder            *octree.Builder
+	bLeafCap, bWorkers int
+	bObs               *obs.Observer
+
+	// bufs are per-worker traversal buffers; labelCtxs cache the pprof
+	// label sets the walk workers run under (building them per call
+	// allocates). Both grow to the high-water worker count.
+	bufs      []*listBuf
+	labelCtxs []context.Context
+
+	// groupCursor dispatches group indices to walk workers; statsMu
+	// guards the per-call stats aggregation.
+	groupCursor atomic.Int64
+	statsMu     sync.Mutex
+	wg          sync.WaitGroup
+}
+
+// ensureWorkerScratch grows the per-worker buffers and cached pprof
+// label contexts to cover worker indices [0, workers).
+func (tc *Treecode) ensureWorkerScratch(workers int) {
+	for len(tc.bufs) < workers {
+		w := len(tc.bufs)
+		tc.bufs = append(tc.bufs, &listBuf{})
+		tc.labelCtxs = append(tc.labelCtxs, pprof.WithLabels(context.Background(),
+			pprof.Labels("treecode", "group-walk", "worker", strconv.Itoa(w))))
+	}
 }
 
 // New returns a treecode with the given options and engine. A nil
@@ -155,8 +192,16 @@ func (tc *Treecode) ComputeForces(s *nbody.System) (*Stats, error) {
 		tm.Stop()
 		tc.sinceBuild++
 	} else {
+		if tc.builder == nil || tc.bLeafCap != o.LeafCap || tc.bWorkers != o.Workers || tc.bObs != o.Obs {
+			tc.builder = octree.NewBuilder(octree.BuilderOptions{
+				LeafCap: o.LeafCap,
+				Workers: o.Workers,
+				Obs:     o.Obs,
+			})
+			tc.bLeafCap, tc.bWorkers, tc.bObs = o.LeafCap, o.Workers, o.Obs
+		}
 		var err error
-		tree, err = octree.Build(s, &octree.Options{LeafCap: o.LeafCap, Obs: o.Obs})
+		tree, err = tc.builder.Build(s)
 		if err != nil {
 			return nil, err
 		}
@@ -165,22 +210,14 @@ func (tc *Treecode) ComputeForces(s *nbody.System) (*Stats, error) {
 	}
 	stats.BuildTime = time.Since(t0)
 
+	// Groups is cached on the tree, so the reuse path re-scans nothing.
+	// Acc/Pot zeroing happens inside the walk workers, per group range:
+	// the groups tile [0, N) disjointly, so each worker clears exactly
+	// the range it is about to accumulate into.
 	groups := tree.Groups(o.Ncrit)
 	stats.Groups = len(groups)
-	for i := range s.Acc {
-		s.Acc[i] = vec.Zero
-		s.Pot[i] = 0
-	}
 
 	mac := octree.OpenCriterion{Theta: o.Theta, UseBmax: o.UseBmax}
-	var mu sync.Mutex // guards stats aggregation
-	var wg sync.WaitGroup
-	next := make(chan int, len(groups))
-	for gi := range groups {
-		next <- gi
-	}
-	close(next)
-
 	workers := o.Workers
 	if workers > len(groups) {
 		workers = len(groups)
@@ -188,19 +225,13 @@ func (tc *Treecode) ComputeForces(s *nbody.System) (*Stats, error) {
 	if workers < 1 {
 		workers = 1
 	}
+	tc.ensureWorkerScratch(workers)
+	tc.groupCursor.Store(0)
 	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			// pprof goroutine labels make the walk workers identifiable
-			// in CPU and goroutine profiles.
-			labels := pprof.Labels("treecode", "group-walk", "worker", strconv.Itoa(w))
-			pprof.Do(context.Background(), labels, func(context.Context) {
-				tc.walkWorker(s, tree, groups, next, mac, o, stats, &mu)
-			})
-		}(w)
+		tc.wg.Add(1)
+		go tc.runWalkWorker(w, s, tree, groups, mac, o, stats)
 	}
-	wg.Wait()
+	tc.wg.Wait()
 	// Asynchronous engines stage batches; the step's forces are only
 	// complete once the device queue drains.
 	if be, ok := tc.Engine.(BatchedEngine); ok {
@@ -217,16 +248,35 @@ func (tc *Treecode) ComputeForces(s *nbody.System) (*Stats, error) {
 	return stats, nil
 }
 
-// walkWorker drains group indices from next, building each group's
-// interaction list and dispatching it to the engine; per-worker spans
-// and statistics are folded into stats under mu at the end.
-func (tc *Treecode) walkWorker(s *nbody.System, tree *octree.Tree, groups []octree.Group,
-	next <-chan int, mac octree.OpenCriterion, o Options, stats *Stats, mu *sync.Mutex) {
-	buf := &listBuf{}
+// runWalkWorker is the walk goroutine body: it applies worker w's
+// cached pprof labels (making walk workers identifiable in CPU and
+// goroutine profiles) and runs the group-drain loop with w's persistent
+// traversal buffer.
+func (tc *Treecode) runWalkWorker(w int, s *nbody.System, tree *octree.Tree,
+	groups []octree.Group, mac octree.OpenCriterion, o Options, stats *Stats) {
+	defer tc.wg.Done()
+	pprof.SetGoroutineLabels(tc.labelCtxs[w])
+	tc.walkWorker(tc.bufs[w], s, tree, groups, mac, o, stats)
+}
+
+// walkWorker drains group indices from the shared cursor, zeroing each
+// group's Acc/Pot range, building its interaction list and dispatching
+// it to the engine; per-worker spans and statistics are folded into
+// stats under statsMu at the end.
+func (tc *Treecode) walkWorker(buf *listBuf, s *nbody.System, tree *octree.Tree,
+	groups []octree.Group, mac octree.OpenCriterion, o Options, stats *Stats) {
 	local := Stats{MinList: -1}
-	for gi := range next {
+	for {
+		gi := int(tc.groupCursor.Add(1)) - 1
+		if gi >= len(groups) {
+			break
+		}
 		g := groups[gi]
 		tw0 := time.Now()
+		for i := g.Start; i < g.Start+g.Count; i++ {
+			s.Acc[i] = vec.Zero
+			s.Pot[i] = 0
+		}
 		visited, cells := tc.buildGroupList(tree, g, mac, buf)
 		local.WalkTime += time.Since(tw0)
 
@@ -257,7 +307,7 @@ func (tc *Treecode) walkWorker(s *nbody.System, tree *octree.Tree, groups []octr
 	}
 	o.Obs.AddSeconds(obs.PhaseGroupWalk, local.WalkTime.Seconds())
 	o.Obs.AddSeconds(obs.PhaseForceEval, local.ComputeTime.Seconds())
-	mu.Lock()
+	tc.statsMu.Lock()
 	stats.Interactions += local.Interactions
 	stats.ListSum += local.ListSum
 	stats.CellTerms += local.CellTerms
@@ -271,7 +321,7 @@ func (tc *Treecode) walkWorker(s *nbody.System, tree *octree.Tree, groups []octr
 	if local.MinList >= 0 && (stats.MinList < 0 || local.MinList < stats.MinList) {
 		stats.MinList = local.MinList
 	}
-	mu.Unlock()
+	tc.statsMu.Unlock()
 }
 
 // buildGroupList fills buf with the shared interaction list of group g:

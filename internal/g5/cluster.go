@@ -80,6 +80,7 @@ type Cluster struct {
 	shards []*clusterShard
 	disp   *dispatcher
 	jpool  sync.Pool // *jset staging copies
+	tpool  sync.Pool // *task chunk descriptors
 
 	tasks   sync.WaitGroup // staged chunks not yet committed
 	workers sync.WaitGroup // running shard goroutines
@@ -111,6 +112,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	}
 	c := &Cluster{cfg: cfg, disp: newDispatcher(cfg.Shards, cfg.Dispatch)}
 	c.jpool.New = func() any { return new(jset) }
+	c.tpool.New = func() any { return new(task) }
 	for k := 0; k < cfg.Shards; k++ {
 		bcfg := cfg.Board
 		if bcfg.Fault != nil && k > 0 {
@@ -313,12 +315,11 @@ func (c *Cluster) Accumulate(req *core.Request) {
 	atomic.StoreInt32(&js.refs, int32(nChunks))
 	for lo := 0; lo < ni; lo += chunk {
 		hi := min(lo+chunk, ni)
-		t := &task{
-			ipos: req.IPos[lo:hi],
-			jset: js,
-			acc:  req.Acc[lo:hi],
-			pot:  req.Pot[lo:hi],
-		}
+		t := c.tpool.Get().(*task)
+		t.ipos = req.IPos[lo:hi]
+		t.jset = js
+		t.acc = req.Acc[lo:hi]
+		t.pot = req.Pot[lo:hi]
 		c.tasks.Add(1)
 		lane := int(c.rr.Add(1)-1) % len(c.shards)
 		c.disp.submit(lane, t)
@@ -409,6 +410,7 @@ func (c *Cluster) worker(k int) {
 // panicking in the caller's frame.
 func (c *Cluster) run(k int, t *task) {
 	defer c.tasks.Done()
+	defer c.releaseT(t)
 	defer c.releaseJ(t.jset)
 	defer func() {
 		if r := recover(); r != nil {
@@ -435,4 +437,11 @@ func (c *Cluster) releaseJ(js *jset) {
 	if atomic.AddInt32(&js.refs, -1) == 0 {
 		c.jpool.Put(js)
 	}
+}
+
+// releaseT recycles a drained chunk descriptor, dropping its references
+// to the caller's output slices and the batch j-set first.
+func (c *Cluster) releaseT(t *task) {
+	t.ipos, t.jset, t.acc, t.pot = nil, nil, nil, nil
+	c.tpool.Put(t)
 }

@@ -62,6 +62,12 @@ type System struct {
 
 	obs *obs.Observer // nil without telemetry
 	cnt Counters
+
+	// compute scratch, reused across calls (a System is single-caller
+	// by contract): quantized i/j positions and rounded masses. With
+	// these, a steady-state Compute allocates nothing.
+	iqScratch, jqScratch []vec.V3
+	mqScratch            []float64
 }
 
 // NewSystem builds an emulated system. The configuration is validated.
@@ -234,15 +240,20 @@ func (s *System) compute(ipos, jpos []vec.V3, jmass []float64, acc []vec.V3, pot
 	}
 
 	// --- Functional model -------------------------------------------
-	iq, err := s.quantizePositions(ipos)
+	iq, err := s.quantizeInto(s.iqScratch, ipos)
 	if err != nil {
 		return err
 	}
-	jq, err := s.quantizePositions(jpos)
+	s.iqScratch = iq
+	jq, err := s.quantizeInto(s.jqScratch, jpos)
 	if err != nil {
 		return err
 	}
-	mq := make([]float64, nj)
+	s.jqScratch = jq
+	if cap(s.mqScratch) < nj {
+		s.mqScratch = make([]float64, nj)
+	}
+	mq := s.mqScratch[:nj]
 	for j, m := range jmass {
 		mq[j] = RoundMantissa(m, s.cfg.MassBits)
 	}
@@ -313,9 +324,14 @@ func (s *System) compute(ipos, jpos []vec.V3, jmass []float64, acc []vec.V3, pot
 	return nil
 }
 
-// quantizePositions maps positions through the fixed-point grid.
-func (s *System) quantizePositions(pos []vec.V3) ([]vec.V3, error) {
-	out := make([]vec.V3, len(pos))
+// quantizeInto maps positions through the fixed-point grid, writing
+// into dst when its capacity suffices (dst is the reused compute
+// scratch; callers retain the returned slice for the next call).
+func (s *System) quantizeInto(dst []vec.V3, pos []vec.V3) ([]vec.V3, error) {
+	if cap(dst) < len(pos) {
+		dst = make([]vec.V3, len(pos))
+	}
+	out := dst[:len(pos)]
 	for i, p := range pos {
 		qx, okx := s.grid.Quantize(p.X)
 		qy, oky := s.grid.Quantize(p.Y)

@@ -96,11 +96,23 @@ func (k Key) OctantAtLevel(level int) int {
 
 // Keys computes Morton keys for a position slice within box.
 func Keys(pos []vec.V3, box vec.Box) []Key {
-	keys := make([]Key, len(pos))
-	for i, p := range pos {
-		keys[i] = KeyFor(p, box)
+	return KeysInto(nil, pos, box)
+}
+
+// KeysInto computes Morton keys for a position slice within box,
+// writing into dst when its capacity suffices (the arena variant used
+// by the reusable tree builder: steady-state builds allocate nothing
+// here). It returns the filled slice, which callers must retain as the
+// scratch for the next call.
+func KeysInto(dst []Key, pos []vec.V3, box vec.Box) []Key {
+	if cap(dst) < len(pos) {
+		dst = make([]Key, len(pos))
 	}
-	return keys
+	dst = dst[:len(pos)]
+	for i, p := range pos {
+		dst[i] = KeyFor(p, box)
+	}
+	return dst
 }
 
 // SortOrder returns a permutation that sorts the keys ascending. The
@@ -121,15 +133,30 @@ func SortOrder(keys []Key) []int {
 // and substantially faster than comparison sorting for the
 // multi-million-particle builds of the headline run.
 func SortOrderRadix(keys []Key) []int {
+	return SortOrderRadixInto(keys, nil, nil)
+}
+
+// SortOrderRadixInto is SortOrderRadix writing into caller-owned
+// scratch: a and b are the two ping-pong permutation buffers (grown
+// only when too small). The returned slice — which holds the final
+// permutation — aliases one of the two buffers, so callers reusing the
+// scratch must consume (or copy) the result before the next call.
+func SortOrderRadixInto(keys []Key, a, b []int) []int {
 	n := len(keys)
-	order := make([]int, n)
+	if cap(a) < n {
+		a = make([]int, n)
+	}
+	order := a[:n]
 	for i := range order {
 		order[i] = i
 	}
 	if n < 2 {
 		return order
 	}
-	tmp := make([]int, n)
+	if cap(b) < n {
+		b = make([]int, n)
+	}
+	tmp := b[:n]
 	var counts [256]int
 	for pass := 0; pass < 8; pass++ {
 		shift := uint(8 * pass)

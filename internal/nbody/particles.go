@@ -77,23 +77,55 @@ func (s *System) Swap(i, j int) {
 // ApplyOrder permutes the system so that new position k holds previous
 // particle order[k]. order must be a permutation of [0, N).
 func (s *System) ApplyOrder(order []int) error {
+	return s.ApplyOrderScratch(order, &PermScratch{})
+}
+
+// PermScratch holds the reusable gather buffers of ApplyOrderScratch.
+// After each call the scratch owns the system's previous arrays, so a
+// scratch reused across steps makes the permutation allocation-free.
+type PermScratch struct {
+	pos, vel, acc []vec.V3
+	mass, pot     []float64
+	id            []int64
+	seen          []bool
+}
+
+// ApplyOrderScratch is ApplyOrder gathering through caller-owned
+// scratch: the permuted arrays are written into scr's buffers (grown
+// only when too small) and swapped with the system's, leaving the old
+// arrays in scr for the next call.
+func (s *System) ApplyOrderScratch(order []int, scr *PermScratch) error {
 	n := s.N()
 	if len(order) != n {
 		return fmt.Errorf("nbody: order length %d != N %d", len(order), n)
 	}
-	seen := make([]bool, n)
+	if cap(scr.seen) < n {
+		scr.seen = make([]bool, n)
+	}
+	seen := scr.seen[:n]
+	for i := range seen {
+		seen[i] = false
+	}
 	for _, idx := range order {
 		if idx < 0 || idx >= n || seen[idx] {
 			return fmt.Errorf("nbody: order is not a permutation")
 		}
 		seen[idx] = true
 	}
-	pos := make([]vec.V3, n)
-	velv := make([]vec.V3, n)
-	acc := make([]vec.V3, n)
-	mass := make([]float64, n)
-	pot := make([]float64, n)
-	id := make([]int64, n)
+	if cap(scr.pos) < n {
+		scr.pos = make([]vec.V3, n)
+		scr.vel = make([]vec.V3, n)
+		scr.acc = make([]vec.V3, n)
+		scr.mass = make([]float64, n)
+		scr.pot = make([]float64, n)
+		scr.id = make([]int64, n)
+	}
+	pos := scr.pos[:n]
+	velv := scr.vel[:n]
+	acc := scr.acc[:n]
+	mass := scr.mass[:n]
+	pot := scr.pot[:n]
+	id := scr.id[:n]
 	for k, idx := range order {
 		pos[k] = s.Pos[idx]
 		velv[k] = s.Vel[idx]
@@ -102,6 +134,8 @@ func (s *System) ApplyOrder(order []int) error {
 		pot[k] = s.Pot[idx]
 		id[k] = s.ID[idx]
 	}
+	scr.pos, scr.vel, scr.acc, scr.mass, scr.pot, scr.id =
+		s.Pos, s.Vel, s.Acc, s.Mass, s.Pot, s.ID
 	s.Pos, s.Vel, s.Acc, s.Mass, s.Pot, s.ID = pos, velv, acc, mass, pot, id
 	return nil
 }

@@ -1,0 +1,21 @@
+package obs
+
+import "runtime/metrics"
+
+// heapAllocSample is the reused sample descriptor for HeapAllocBytes
+// (metrics.Read with a preallocated one-element slice does not
+// allocate, so metering itself stays off the allocation ledger).
+var heapAllocSample = []metrics.Sample{{Name: "/gc/heap/allocs:bytes"}}
+
+// HeapAllocBytes returns the process-lifetime cumulative heap
+// allocation in bytes. Differencing two readings bounds the bytes
+// allocated in between — the per-step metric the arena pipeline is
+// judged by. Unlike runtime.ReadMemStats this does not stop the world,
+// so it is cheap enough to bracket every step.
+//
+// Not safe against concurrent HeapAllocBytes calls (the sample buffer
+// is shared); the single-threaded step driver is the only caller.
+func HeapAllocBytes() uint64 {
+	metrics.Read(heapAllocSample)
+	return heapAllocSample[0].Value.Uint64()
+}

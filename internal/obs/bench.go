@@ -7,7 +7,9 @@ import (
 )
 
 // BenchSchemaVersion is the current BENCH_treecode.json schema version.
-const BenchSchemaVersion = 1
+// v2 added t_build and bytes_alloc_per_step to every point (the arena
+// step pipeline's build-split and allocation metrics).
+const BenchSchemaVersion = 2
 
 // BenchPoint is one (N, n_g) sample of a bench sweep: per-step means
 // over the measured steps.
@@ -21,6 +23,13 @@ type BenchPoint struct {
 	// THostWall is the measured host time per step on this machine
 	// (Morton sort + tree build + group walk + guard).
 	THostWall float64 `json:"t_host_wall"`
+	// TBuild is the tree-construction share of THostWall per step
+	// (Morton sort + tree build), the t_build split of the time-balance
+	// model.
+	TBuild float64 `json:"t_build"`
+	// BytesAllocPerStep is the mean heap allocation per measured step
+	// in bytes — the arena pipeline's regression metric.
+	BytesAllocPerStep float64 `json:"bytes_alloc_per_step"`
 	// THostModel is the calibrated DS10 host-model time per step for
 	// the measured traversal statistics.
 	THostModel float64 `json:"t_host_model"`
@@ -125,6 +134,14 @@ func ValidateBench(data []byte) error {
 			if !(p.THostWall > 0) || !(p.THostModel > 0) || !(p.TGrape > 0) || !(p.TComm > 0) {
 				return fmt.Errorf("obs: sweep %d ncrit=%d: zero phase timing (host_wall=%g host_model=%g grape=%g comm=%g)",
 					si, p.Ncrit, p.THostWall, p.THostModel, p.TGrape, p.TComm)
+			}
+			if !(p.TBuild > 0) || p.TBuild > p.THostWall*(1+1e-9) {
+				return fmt.Errorf("obs: sweep %d ncrit=%d: t_build %g outside (0, t_host_wall=%g]",
+					si, p.Ncrit, p.TBuild, p.THostWall)
+			}
+			if p.BytesAllocPerStep < 0 {
+				return fmt.Errorf("obs: sweep %d ncrit=%d: negative bytes_alloc_per_step %g",
+					si, p.Ncrit, p.BytesAllocPerStep)
 			}
 			if p.Interactions < 1 || p.Groups < 1 {
 				return fmt.Errorf("obs: sweep %d ncrit=%d: empty traversal", si, p.Ncrit)

@@ -12,7 +12,7 @@ func goodBench() BenchReport {
 		return BenchPoint{
 			Ncrit: ng, Groups: 10, Interactions: 1000, AvgList: 100,
 			THostWall: 0.01, THostModel: 0.02, TGrape: 0.005, TComm: 0.004,
-			TTotalModel: 0.029,
+			TTotalModel: 0.029, TBuild: 0.004, BytesAllocPerStep: 2048,
 		}
 	}
 	return BenchReport{
@@ -51,7 +51,7 @@ func TestValidateBenchRejects(t *testing.T) {
 		mut  func(*BenchReport)
 		want string
 	}{
-		{"wrong version", func(r *BenchReport) { r.SchemaVersion = 2 }, "schema version"},
+		{"wrong version", func(r *BenchReport) { r.SchemaVersion = BenchSchemaVersion + 1 }, "schema version"},
 		{"no sweeps", func(r *BenchReport) { r.Sweeps = nil }, "no sweeps"},
 		{"no points", func(r *BenchReport) { r.Sweeps[0].Points = nil }, "no points"},
 		{"missing model", func(r *BenchReport) { r.Sweeps[0].Model = "" }, "bad model"},
@@ -60,6 +60,9 @@ func TestValidateBenchRejects(t *testing.T) {
 		{"zero grape time", func(r *BenchReport) { r.Sweeps[0].Points[2].TGrape = 0 }, "zero phase timing"},
 		{"zero comm time", func(r *BenchReport) { r.Sweeps[0].Points[2].TComm = 0 }, "zero phase timing"},
 		{"empty traversal", func(r *BenchReport) { r.Sweeps[0].Points[1].Interactions = 0 }, "empty traversal"},
+		{"zero build time", func(r *BenchReport) { r.Sweeps[0].Points[0].TBuild = 0 }, "t_build"},
+		{"build exceeds host", func(r *BenchReport) { r.Sweeps[0].Points[1].TBuild = 0.02 }, "t_build"},
+		{"negative alloc", func(r *BenchReport) { r.Sweeps[0].Points[2].BytesAllocPerStep = -1 }, "bytes_alloc_per_step"},
 		{"optimum not in sweep", func(r *BenchReport) { r.Sweeps[0].MeasuredOptimalNcrit = 123 }, "not in sweep"},
 		{"inconsistent agreement flag", func(r *BenchReport) {
 			r.Sweeps[0].MeasuredOptimalNcrit = 100 // two points from model's 400

@@ -38,6 +38,14 @@ type StepReport struct {
 	// TComm is the simulated host-interface time: j/i uploads plus
 	// force readback (t_comm).
 	TComm float64 `json:"t_comm"`
+	// TBuild is the tree-construction share of the host time: Morton
+	// sort plus tree build — the serial (non-overlappable) prefix of
+	// the step that the parallel builder attacks.
+	TBuild float64 `json:"t_build"`
+	// BytesAlloc is the heap memory allocated during the step (from
+	// runtime/metrics; 0 when the step driver does not meter it). The
+	// arena pipeline holds this near zero in steady state.
+	BytesAlloc int64 `json:"bytes_alloc"`
 	// Phases is the full per-phase breakdown.
 	Phases PhaseSeconds `json:"phases"`
 	// Interactions, Flops and Bytes are the step's work counters.
@@ -71,6 +79,7 @@ func (o *Observer) Snapshot(step int, wall time.Duration) StepReport {
 		Readback:   o.Seconds(PhaseReadback),
 	}
 	r.THost = r.Phases.MortonSort + r.Phases.TreeBuild + r.Phases.GroupWalk + r.Phases.Guard
+	r.TBuild = r.Phases.MortonSort + r.Phases.TreeBuild
 	r.TGrape = r.Phases.Pipeline
 	r.TComm = r.Phases.JTransfer + r.Phases.ITransfer + r.Phases.Readback
 	r.Interactions = o.Count(CntInteractions)

@@ -1,0 +1,329 @@
+package octree
+
+import (
+	"testing"
+
+	"repro/internal/morton"
+	"repro/internal/nbody"
+	"repro/internal/rng"
+	"repro/internal/vec"
+)
+
+// clusteredSystem builds a deterministic clustered test system: a few
+// Gaussian blobs plus a uniform background, so trees get both deep and
+// shallow regions.
+func clusteredSystem(seed uint64, n int) *nbody.System {
+	r := rng.New(seed)
+	s := nbody.New(n)
+	nblobs := 1 + r.Intn(4)
+	centers := make([]vec.V3, nblobs)
+	for b := range centers {
+		centers[b] = vec.V3{
+			X: r.Uniform(-1, 1),
+			Y: r.Uniform(-1, 1),
+			Z: r.Uniform(-1, 1),
+		}
+	}
+	for i := 0; i < n; i++ {
+		if r.Float64() < 0.8 {
+			c := centers[r.Intn(nblobs)]
+			s.Pos[i] = vec.V3{
+				X: c.X + r.Normal()*0.05,
+				Y: c.Y + r.Normal()*0.05,
+				Z: c.Z + r.Normal()*0.05,
+			}
+		} else {
+			s.Pos[i] = vec.V3{
+				X: r.Uniform(-2, 2),
+				Y: r.Uniform(-2, 2),
+				Z: r.Uniform(-2, 2),
+			}
+		}
+		s.Mass[i] = 0.5 + r.Float64()
+	}
+	return s
+}
+
+// forceParallel lowers the parallel threshold for the duration of a
+// test so small systems exercise the parallel path.
+func forceParallel(t *testing.T) {
+	t.Helper()
+	old := parallelMinN
+	parallelMinN = 1
+	t.Cleanup(func() { parallelMinN = old })
+}
+
+// assertTreesBitwiseEqual fails unless the two trees have identical
+// node slices (compared with ==, so every float is bitwise-equal),
+// identical particle orders and identical group lists.
+func assertTreesBitwiseEqual(t *testing.T, serial, par *Tree, ncrit int) {
+	t.Helper()
+	if len(serial.Nodes) != len(par.Nodes) {
+		t.Fatalf("node count: serial %d, parallel %d", len(serial.Nodes), len(par.Nodes))
+	}
+	for i := range serial.Nodes {
+		if serial.Nodes[i] != par.Nodes[i] {
+			t.Fatalf("node %d differs:\nserial:   %+v\nparallel: %+v", i, serial.Nodes[i], par.Nodes[i])
+		}
+	}
+	for i := range serial.Sys.Pos {
+		if serial.Sys.Pos[i] != par.Sys.Pos[i] || serial.Sys.ID[i] != par.Sys.ID[i] {
+			t.Fatalf("particle order differs at %d: (%v, id %d) vs (%v, id %d)",
+				i, serial.Sys.Pos[i], serial.Sys.ID[i], par.Sys.Pos[i], par.Sys.ID[i])
+		}
+	}
+	gs, gp := serial.Groups(ncrit), par.Groups(ncrit)
+	if len(gs) != len(gp) {
+		t.Fatalf("group count: serial %d, parallel %d", len(gs), len(gp))
+	}
+	for i := range gs {
+		if gs[i] != gp[i] {
+			t.Fatalf("group %d differs: %+v vs %+v", i, gs[i], gp[i])
+		}
+	}
+}
+
+// TestBuildParallelMatchesSerial is the conformance property of the
+// tentpole: the parallel build must be bitwise-identical to the serial
+// build — same node layout, same floats, same particle order, same
+// groups — for every worker count.
+func TestBuildParallelMatchesSerial(t *testing.T) {
+	forceParallel(t)
+	cases := []struct {
+		seed    uint64
+		n       int
+		leafCap int
+	}{
+		{1, 1, 8},
+		{2, 7, 8},
+		{3, 64, 1},
+		{4, 500, 8},
+		{5, 2000, 8},
+		{6, 2000, 2},
+		{7, 5000, 16},
+		{8, 3000, 8},
+	}
+	for _, tc := range cases {
+		for _, workers := range []int{2, 3, 4, 8} {
+			ref := clusteredSystem(tc.seed, tc.n)
+			ss, ps := ref.Clone(), ref.Clone()
+			serial, err := NewBuilder(BuilderOptions{LeafCap: tc.leafCap, Workers: 1}).Build(ss)
+			if err != nil {
+				t.Fatal(err)
+			}
+			par, err := NewBuilder(BuilderOptions{LeafCap: tc.leafCap, Workers: workers}).Build(ps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertTreesBitwiseEqual(t, serial, par, 32)
+			if err := par.Validate(); err != nil {
+				t.Fatalf("seed=%d n=%d workers=%d: %v", tc.seed, tc.n, workers, err)
+			}
+		}
+	}
+}
+
+// TestBuilderReuseMatchesFresh drives one Builder across several
+// perturbed "steps" and checks each reused-arena build against a fresh
+// standalone Build of the same snapshot.
+func TestBuilderReuseMatchesFresh(t *testing.T) {
+	forceParallel(t)
+	b := NewBuilder(BuilderOptions{LeafCap: 8, Workers: 4})
+	sys := clusteredSystem(42, 1500)
+	jig := rng.New(99)
+	var prev *Tree
+	for step := 0; step < 5; step++ {
+		for i := range sys.Pos {
+			sys.Pos[i].X += jig.Normal() * 0.01
+			sys.Pos[i].Y += jig.Normal() * 0.01
+			sys.Pos[i].Z += jig.Normal() * 0.01
+		}
+		ref := sys.Clone()
+		reused, err := b.Build(sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reused == prev {
+			t.Fatal("Builder returned the same *Tree header on a rebuild")
+		}
+		prev = reused
+		fresh, err := Build(ref, &Options{LeafCap: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertTreesBitwiseEqual(t, fresh, reused, 64)
+	}
+}
+
+// TestGroupsCached pins the Groups cache contract: repeat calls with
+// the same ncrit return the identical cached slice, the cache survives
+// Refresh (topology unchanged), a different ncrit recomputes, and a
+// rebuild invalidates.
+func TestGroupsCached(t *testing.T) {
+	b := NewBuilder(BuilderOptions{LeafCap: 8, Workers: 1})
+	sys := clusteredSystem(7, 800)
+	tree, err := b.Build(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1 := tree.Groups(32)
+	g2 := tree.Groups(32)
+	if len(g1) == 0 || &g1[0] != &g2[0] {
+		t.Fatal("repeat Groups(32) did not return the cached slice")
+	}
+
+	tree.Refresh()
+	g3 := tree.Groups(32)
+	if &g1[0] != &g3[0] {
+		t.Fatal("Groups cache did not survive Refresh")
+	}
+
+	g64 := tree.Groups(64)
+	if len(g64) > len(g1) {
+		t.Fatalf("larger ncrit produced more groups: %d > %d", len(g64), len(g1))
+	}
+	back := tree.Groups(32)
+	if len(back) != len(g1) {
+		t.Fatalf("ncrit switch broke recompute: %d != %d", len(back), len(g1))
+	}
+
+	// Rebuild: the new tree must not serve the old tree's group list.
+	for i := range sys.Pos {
+		sys.Pos[i].X += 0.5
+	}
+	tree2, err := b.Build(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := Build(sys.Clone(), &Options{LeafCap: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, want := tree2.Groups(32), fresh.Groups(32)
+	if len(got) != len(want) {
+		t.Fatalf("post-rebuild groups stale: %d != %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("post-rebuild group %d stale: %+v != %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestGroupsMatchRecursiveReference checks the iterative cached Groups
+// against an independent recursive implementation of the definition.
+func TestGroupsMatchRecursiveReference(t *testing.T) {
+	sys := clusteredSystem(11, 1200)
+	tree, err := Build(sys, &Options{LeafCap: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ncrit := range []int{1, 8, 33, 200, 5000} {
+		var want []Group
+		var walk func(idx int32)
+		walk = func(idx int32) {
+			n := &tree.Nodes[idx]
+			if int(n.Count) <= ncrit || n.Leaf {
+				want = append(want, Group{Node: idx, Start: n.Start, Count: n.Count})
+				return
+			}
+			for _, c := range n.Children {
+				if c != NoChild {
+					walk(c)
+				}
+			}
+		}
+		walk(0)
+		got := tree.Groups(ncrit)
+		if len(got) != len(want) {
+			t.Fatalf("ncrit=%d: %d groups, want %d", ncrit, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("ncrit=%d group %d: %+v != %+v", ncrit, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestBuildSteadyStateAllocs pins the arena property: after warmup, a
+// Builder's Build performs only the constant-size Tree-header
+// allocation, independent of N.
+func TestBuildSteadyStateAllocs(t *testing.T) {
+	b := NewBuilder(BuilderOptions{LeafCap: 8, Workers: 1})
+	sys := clusteredSystem(13, 4000)
+	for i := 0; i < 3; i++ {
+		if _, err := b.Build(sys); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := b.Build(sys); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// One allocation for the fresh *Tree header; a little slack for the
+	// runtime.
+	if allocs > 2 {
+		t.Fatalf("steady-state Build allocates %.1f objects/run, want <= 2", allocs)
+	}
+}
+
+// FuzzBuildParallel fuzzes the conformance property over seed, size,
+// leaf capacity and worker count.
+func FuzzBuildParallel(f *testing.F) {
+	f.Add(int64(1), uint16(100), uint8(8), uint8(4))
+	f.Add(int64(2), uint16(1000), uint8(1), uint8(2))
+	f.Add(int64(3), uint16(2500), uint8(16), uint8(8))
+	f.Add(int64(4), uint16(3), uint8(4), uint8(3))
+	f.Fuzz(func(t *testing.T, seed int64, n uint16, leafCap, workers uint8) {
+		forceParallel(t)
+		nn := int(n)%3000 + 1
+		lc := int(leafCap)%32 + 1
+		w := int(workers)%8 + 2
+		ref := clusteredSystem(uint64(seed), nn)
+		ss, ps := ref.Clone(), ref.Clone()
+		serial, err := NewBuilder(BuilderOptions{LeafCap: lc, Workers: 1}).Build(ss)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := NewBuilder(BuilderOptions{LeafCap: lc, Workers: w}).Build(ps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertTreesBitwiseEqual(t, serial, par, lc*4)
+	})
+}
+
+// TestOctantEndMatchesReference checks the hand-rolled binary search
+// against a linear scan on sorted key runs.
+func TestOctantEndMatchesReference(t *testing.T) {
+	sys := clusteredSystem(17, 600)
+	tree, err := Build(sys, &Options{LeafCap: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cube := rootCube(sys)
+	// keys are in tree (sorted) order after Build reordered sys; octant
+	// order at a node's level is monotonic only inside the node's range
+	// (where all keys share the prefix), so the check walks real nodes.
+	keys := morton.Keys(sys.Pos, cube)
+	for ni := range tree.Nodes {
+		n := &tree.Nodes[ni]
+		if n.Leaf {
+			continue
+		}
+		lo := n.Start
+		for oct := 0; oct < 8; oct++ {
+			hi := octantEnd(keys, lo, n.Start+n.Count, n.Level, oct)
+			want := lo
+			for want < n.Start+n.Count && keys[want].OctantAtLevel(int(n.Level)) <= oct {
+				want++
+			}
+			if hi != want {
+				t.Fatalf("node=%d level=%d oct=%d lo=%d: got %d, want %d", ni, n.Level, oct, lo, hi, want)
+			}
+			lo = hi
+		}
+	}
+}

@@ -12,8 +12,6 @@ package octree
 import (
 	"fmt"
 	"math"
-	"sort"
-	"time"
 
 	"repro/internal/morton"
 	"repro/internal/nbody"
@@ -52,6 +50,10 @@ type Node struct {
 // Tree is a built Barnes-Hut octree over a particle system. The system
 // is reordered into Morton order by Build; Tree keeps a reference to
 // its arrays.
+//
+// Trees produced by a Builder borrow the Builder's node arena: they
+// stay valid until the Builder's next Build call. Trees from the
+// standalone Build own their storage.
 type Tree struct {
 	// Nodes holds all cells; Nodes[0] is the root.
 	Nodes []Node
@@ -59,6 +61,14 @@ type Tree struct {
 	Sys *nbody.System
 	// LeafCap is the maximum particle count of a leaf cell.
 	LeafCap int
+
+	// groups caches the most recent Groups(ncrit) result. The cache is
+	// born invalid on every (re)build — groupsNcrit 0 matches no valid
+	// request — and survives Refresh, which changes masses and centres
+	// of mass but not the cell topology the group ranges come from.
+	groups      []Group
+	groupsNcrit int
+	groupStack  []int32
 }
 
 // Options configure tree construction.
@@ -77,65 +87,79 @@ func (o *Options) leafCap() int {
 	return o.LeafCap
 }
 
-// Build sorts the system into Morton order (mutating it) and builds the
-// octree.
-func Build(s *nbody.System, opt *Options) (*Tree, error) {
-	if s.N() == 0 {
-		return nil, fmt.Errorf("octree: empty system")
+func optObs(o *Options) *obs.Observer {
+	if o == nil {
+		return nil
 	}
+	return o.Obs
+}
+
+// Build sorts the system into Morton order (mutating it) and builds the
+// octree. Every call allocates a fresh tree; the steady-state step loop
+// uses a Builder instead, which reuses all construction scratch.
+func Build(s *nbody.System, opt *Options) (*Tree, error) {
+	b := NewBuilder(BuilderOptions{LeafCap: opt.leafCap(), Workers: 1, Obs: optObs(opt)})
+	return b.Build(s)
+}
+
+// rootCube returns the cubic bounding volume of the system, with the
+// degenerate all-coincident case given unit size so geometry stays
+// finite.
+func rootCube(s *nbody.System) vec.Box {
 	cube := s.Bounds().Cube()
 	if cube.MaxEdge() == 0 {
-		// All particles coincide; give the cell unit size so geometry
-		// stays finite.
 		cube = vec.NewBox(cube.Min.Sub(vec.V3{X: 0.5, Y: 0.5, Z: 0.5}),
 			cube.Min.Add(vec.V3{X: 0.5, Y: 0.5, Z: 0.5}))
 	}
-	var ob *obs.Observer
-	if opt != nil {
-		ob = opt.Obs
-	}
-	t0 := time.Now()
-	keys := morton.Keys(s.Pos, cube)
-	order := morton.SortOrderRadix(keys)
-	if err := s.ApplyOrder(order); err != nil {
-		return nil, err
-	}
-	sorted := make([]morton.Key, len(keys))
-	for i, idx := range order {
-		sorted[i] = keys[idx]
-	}
-	ob.AddSeconds(obs.PhaseMortonSort, time.Since(t0).Seconds())
+	return cube
+}
 
-	t1 := time.Now()
-	t := &Tree{
-		Nodes:   make([]Node, 0, 2*s.N()/opt.leafCap()+16),
-		Sys:     s,
-		LeafCap: opt.leafCap(),
+// octantEnd returns the first index in [lo, hi) whose key's octant at
+// the given level exceeds oct — the end of oct's run in the sorted key
+// array. Hand-rolled binary search: the per-node sort.Search closure
+// was the build recursion's only heap allocation.
+func octantEnd(keys []morton.Key, lo, hi, level int32, oct int) int32 {
+	for lo < hi {
+		mid := int32(uint32(lo+hi) >> 1)
+		if keys[mid].OctantAtLevel(int(level)) <= oct {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
 	}
-	t.build(sorted, cube, 0, int32(s.N()), 0)
-	ob.AddSeconds(obs.PhaseTreeBuild, time.Since(t1).Seconds())
-	return t, nil
+	return lo
+}
+
+// nodeBuilder appends the recursive octree construction into a node
+// arena. The serial Build, the Builder's parallel subtree tasks and the
+// parallel build's stitched spine all run this one recursion, which is
+// what makes their outputs bitwise-identical.
+type nodeBuilder struct {
+	nodes   []Node
+	sys     *nbody.System
+	keys    []morton.Key
+	leafCap int
 }
 
 // build recursively constructs the subtree for sorted key range
 // [start, start+count) with cell box, at the given level, returning the
 // node index.
-func (t *Tree) build(keys []morton.Key, box vec.Box, start, count int32, level int32) int32 {
-	idx := int32(len(t.Nodes))
-	t.Nodes = append(t.Nodes, Node{
+func (nb *nodeBuilder) build(box vec.Box, start, count int32, level int32) int32 {
+	idx := int32(len(nb.nodes))
+	nb.nodes = append(nb.nodes, Node{
 		Box:   box,
 		Size:  box.MaxEdge(),
 		Start: start,
 		Count: count,
 		Level: level,
 	})
-	for i := range t.Nodes[idx].Children {
-		t.Nodes[idx].Children[i] = NoChild
+	for i := range nb.nodes[idx].Children {
+		nb.nodes[idx].Children[i] = NoChild
 	}
 
-	if int(count) <= t.LeafCap || level >= morton.Bits-1 {
-		t.Nodes[idx].Leaf = true
-		t.finishLeaf(idx)
+	if int(count) <= nb.leafCap || level >= morton.Bits-1 {
+		nb.nodes[idx].Leaf = true
+		finishLeafNode(nb.sys, &nb.nodes[idx])
 		return idx
 	}
 
@@ -144,29 +168,34 @@ func (t *Tree) build(keys []morton.Key, box vec.Box, start, count int32, level i
 	// prefix-ordered field within the node's range.
 	lo := start
 	for oct := 0; oct < 8; oct++ {
-		// Find the end of this octant's run.
-		hi := lo + int32(sort.Search(int(start+count-lo), func(i int) bool {
-			return keys[lo+int32(i)].OctantAtLevel(int(level)) > oct
-		}))
+		hi := octantEnd(nb.keys, lo, start+count, level, oct)
 		if hi > lo {
-			child := t.build(keys, box.Child(oct), lo, hi-lo, level+1)
-			t.Nodes[idx].Children[oct] = child
+			child := nb.build(box.Child(oct), lo, hi-lo, level+1)
+			nb.nodes[idx].Children[oct] = child
 		}
 		lo = hi
 	}
 
-	// Centre-of-mass pass: aggregate children.
+	aggregateChildren(nb.nodes, idx, box)
+	return idx
+}
+
+// aggregateChildren runs the centre-of-mass pass for internal node idx:
+// mass, COM and bmax from its (already finished) children, in octant
+// order. The parallel build's stitch phase uses the identical call for
+// the spine, preserving floating-point summation order.
+func aggregateChildren(nodes []Node, idx int32, box vec.Box) {
 	var m float64
 	var com vec.V3
-	for _, c := range t.Nodes[idx].Children {
+	for _, c := range nodes[idx].Children {
 		if c == NoChild {
 			continue
 		}
-		cn := &t.Nodes[c]
+		cn := &nodes[c]
 		m += cn.Mass
 		com = com.MulAdd(cn.Mass, cn.COM)
 	}
-	n := &t.Nodes[idx]
+	n := &nodes[idx]
 	n.Mass = m
 	if m > 0 {
 		n.COM = com.Scale(1 / m)
@@ -174,19 +203,23 @@ func (t *Tree) build(keys []morton.Key, box vec.Box, start, count int32, level i
 		n.COM = box.Center()
 	}
 	n.Bmax = maxCornerDist(box, n.COM)
-	return idx
 }
 
 // finishLeaf computes the mass and centre of mass of a leaf directly
 // from its particles.
 func (t *Tree) finishLeaf(idx int32) {
-	n := &t.Nodes[idx]
+	finishLeafNode(t.Sys, &t.Nodes[idx])
+}
+
+// finishLeafNode fills a leaf node's mass, COM and bmax from the
+// system's particles in its range.
+func finishLeafNode(sys *nbody.System, n *Node) {
 	var m float64
 	var com vec.V3
 	for i := n.Start; i < n.Start+n.Count; i++ {
-		mi := t.Sys.Mass[i]
+		mi := sys.Mass[i]
 		m += mi
-		com = com.MulAdd(mi, t.Sys.Pos[i])
+		com = com.MulAdd(mi, sys.Pos[i])
 	}
 	n.Mass = m
 	if m > 0 {
@@ -268,26 +301,40 @@ func (t *Tree) Refresh() {
 // Barnes' modified algorithm: the shallowest cells containing at most
 // ncrit particles. Every particle belongs to exactly one group, and
 // each group is a contiguous range in tree order.
+//
+// The result is cached on the tree: repeat calls with the same ncrit
+// (the RebuildEvery>1 reuse path, where Refresh changes cell contents
+// but not topology) return the cached slice without re-scanning the
+// tree. The cache is invalidated by rebuilds and by a different ncrit.
+// Callers must not retain the slice across a rebuild.
 func (t *Tree) Groups(ncrit int) []Group {
 	if ncrit < 1 {
 		ncrit = 1
 	}
-	var groups []Group
-	var walk func(idx int32)
-	walk = func(idx int32) {
+	if t.groupsNcrit == ncrit {
+		return t.groups
+	}
+	t.groups = t.groups[:0]
+	// Iterative preorder: push children 7..0 so octant 0 pops first,
+	// matching the recursive descent's group order.
+	stack := append(t.groupStack[:0], 0)
+	for len(stack) > 0 {
+		idx := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
 		n := &t.Nodes[idx]
 		if int(n.Count) <= ncrit || n.Leaf {
-			groups = append(groups, Group{Node: idx, Start: n.Start, Count: n.Count})
-			return
+			t.groups = append(t.groups, Group{Node: idx, Start: n.Start, Count: n.Count})
+			continue
 		}
-		for _, c := range n.Children {
-			if c != NoChild {
-				walk(c)
+		for oct := 7; oct >= 0; oct-- {
+			if c := n.Children[oct]; c != NoChild {
+				stack = append(stack, c)
 			}
 		}
 	}
-	walk(0)
-	return groups
+	t.groupStack = stack[:0]
+	t.groupsNcrit = ncrit
+	return t.groups
 }
 
 // Group is a particle group for the modified tree algorithm: the

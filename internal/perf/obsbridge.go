@@ -14,10 +14,11 @@ import (
 // n_g can be compared.
 func StepFromObs(h HostModel, st *core.Stats, r obs.StepReport) StepReport {
 	return StepReport{
-		HostSeconds:  h.StepSeconds(st),
-		PipeSeconds:  r.TGrape,
-		BusSeconds:   r.TComm,
-		Interactions: st.Interactions,
+		HostSeconds:      h.StepSeconds(st),
+		HostBuildSeconds: h.BuildSeconds(st.N),
+		PipeSeconds:      r.TGrape,
+		BusSeconds:       r.TComm,
+		Interactions:     st.Interactions,
 	}
 }
 

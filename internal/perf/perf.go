@@ -94,17 +94,28 @@ func DS10() HostModel {
 // the given traversal statistics.
 func (h HostModel) StepSeconds(st *core.Stats) float64 {
 	n := float64(st.N)
-	logN := math.Log2(math.Max(n, 2))
-	return h.BuildCoeff*n*logN +
+	return h.BuildSeconds(st.N) +
 		h.WalkCoeff*float64(st.ListSum) +
 		h.VisitCoeff*float64(st.NodesVisited) +
 		h.ParticleCoeff*n
+}
+
+// BuildSeconds returns the tree-construction share of the modelled host
+// step time for n particles — the model-side counterpart of the
+// measured t_build split (Morton sort + tree build).
+func (h HostModel) BuildSeconds(n int) float64 {
+	fn := float64(n)
+	return h.BuildCoeff * fn * math.Log2(math.Max(fn, 2))
 }
 
 // StepReport is the modelled time balance of one force step.
 type StepReport struct {
 	// HostSeconds is the modelled host time (build + walk + integrate).
 	HostSeconds float64
+	// HostBuildSeconds is the tree-construction share of HostSeconds —
+	// the t_build split, which parallel tree construction attacks while
+	// the rest of the host time shrinks with n_g.
+	HostBuildSeconds float64
 	// PipeSeconds and BusSeconds are the GRAPE pipeline and
 	// host-interface times from the g5 timing model.
 	PipeSeconds, BusSeconds float64
@@ -128,10 +139,11 @@ func (r StepReport) TotalSeconds() float64 { return r.HostSeconds + r.PipeSecond
 // during one step (counters must be reset around the step).
 func ModelStep(h HostModel, st *core.Stats, c g5.Counters) StepReport {
 	return StepReport{
-		HostSeconds:  h.StepSeconds(st),
-		PipeSeconds:  c.PipeSeconds,
-		BusSeconds:   c.BusSeconds,
-		Interactions: st.Interactions,
+		HostSeconds:      h.StepSeconds(st),
+		HostBuildSeconds: h.BuildSeconds(st.N),
+		PipeSeconds:      c.PipeSeconds,
+		BusSeconds:       c.BusSeconds,
+		Interactions:     st.Interactions,
 	}
 }
 

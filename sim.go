@@ -102,10 +102,10 @@ type Simulation struct {
 	hw      *g5.System        // nil for host engine and cluster runs
 	guard   *g5.GuardedEngine // nil unless Config.Guard
 	cluster *g5.Cluster       // nil unless Config.Shards > 1
-	lf     *integrate.Leapfrog
-	ob     *obs.Observer
-	time   float64
-	nsteps int
+	lf      *integrate.Leapfrog
+	ob      *obs.Observer
+	time    float64
+	nsteps  int
 
 	// LastStats is the treecode statistics of the most recent force
 	// evaluation.
@@ -296,26 +296,36 @@ func max3(a, b, c float64) float64 {
 // The priming force call emits its own telemetry as step 0.
 func (sim *Simulation) Prime() error {
 	sim.ob.Reset()
+	a0 := obs.HeapAllocBytes()
 	t0 := time.Now()
 	if err := sim.lf.Prime(sim.Sys); err != nil {
 		return err
 	}
-	sim.LastReport = sim.ob.Snapshot(0, time.Since(t0))
+	wall := time.Since(t0)
+	alloc := int64(obs.HeapAllocBytes() - a0)
+	sim.LastReport = sim.ob.Snapshot(0, wall)
+	sim.LastReport.BytesAlloc = alloc
 	return nil
 }
 
 // Step advances one leapfrog step and snapshots the step's telemetry
-// into LastReport. A first Step without a prior Prime folds the priming
-// force call into its report.
+// into LastReport, including the bytes of heap allocated during the
+// step (near zero in steady state: the tree builder, walk workers and
+// engines all run on reused arenas). A first Step without a prior Prime
+// folds the priming force call into its report.
 func (sim *Simulation) Step() error {
 	sim.ob.Reset()
+	a0 := obs.HeapAllocBytes()
 	t0 := time.Now()
 	if err := sim.lf.Step(sim.Sys); err != nil {
 		return err
 	}
+	wall := time.Since(t0)
+	alloc := int64(obs.HeapAllocBytes() - a0)
 	sim.time += sim.cfg.DT
 	sim.nsteps++
-	sim.LastReport = sim.ob.Snapshot(sim.nsteps, time.Since(t0))
+	sim.LastReport = sim.ob.Snapshot(sim.nsteps, wall)
+	sim.LastReport.BytesAlloc = alloc
 	return nil
 }
 

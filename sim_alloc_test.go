@@ -1,0 +1,117 @@
+package grape5
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/nbody"
+	"repro/internal/obs"
+	"repro/internal/rng"
+	"repro/internal/vec"
+)
+
+func allocTestSystem(n int) *nbody.System {
+	r := rng.New(1)
+	s := nbody.New(n)
+	for i := 0; i < n; i++ {
+		x, y, z := r.InBall()
+		s.Pos[i] = vec.V3{X: x, Y: y, Z: z}
+		s.Mass[i] = 1.0 / float64(n)
+	}
+	return s
+}
+
+// TestStepAllocs is the allocation-regression gate of the arena
+// pipeline: after warmup, a host-engine Step must run its whole
+// build->group->walk path on reused scratch. At this size the seed
+// revision allocated ~2.9 MB per step (few objects, but the full key /
+// order / node / list working set every step); the arena pipeline
+// brought that to ~9 KB. The byte budget pins a >=10x drop against the
+// seed with margin; the object budget catches per-group or per-node
+// leaks that stay small in bytes.
+func TestStepAllocs(t *testing.T) {
+	const n = 8192
+	// Seed baseline at n=8192, Workers=4, Ncrit=500 (commit 4a283d2,
+	// measured via runtime/metrics): 2,972,624 bytes/step.
+	const seedBytesPerStep = 2_900_000
+	sys := allocTestSystem(n)
+	// Workers is set explicitly: AllocsPerRun forces GOMAXPROCS=1, and
+	// Workers=0 would resolve to 1, hiding the per-worker scratch path.
+	sim, err := NewSimulation(sys, Config{
+		DT: 1e-3, G: 1, Eps: 0.01, Ncrit: 500, Workers: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Prime(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := sim.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var bytes int64
+	allocs := testing.AllocsPerRun(5, func() {
+		if err := sim.Step(); err != nil {
+			t.Fatal(err)
+		}
+		bytes += sim.LastReport.BytesAlloc
+	})
+	// AllocsPerRun ran the function 5 measured times plus one warmup.
+	bytesPerStep := bytes / 6
+	if bytesPerStep > seedBytesPerStep/10 {
+		t.Fatalf("steady-state Step allocates %d bytes, budget %d (10x under the seed's ~%d)",
+			bytesPerStep, seedBytesPerStep/10, seedBytesPerStep)
+	}
+	// Object-count residue: tree header, stats header, telemetry
+	// snapshot, goroutine spawns — ~75 at this size (seed: ~235).
+	const budget = 200
+	if allocs > budget {
+		t.Fatalf("steady-state Step allocates %.0f objects/run, budget %d", allocs, budget)
+	}
+	t.Logf("steady-state Step: %.1f allocs/run, %d bytes/step (budgets %d, %d)",
+		allocs, bytesPerStep, budget, seedBytesPerStep/10)
+}
+
+// TestStepReportBytesAlloc checks that the telemetry layer reports the
+// per-step allocation counter and that it is sane in steady state.
+func TestStepReportBytesAlloc(t *testing.T) {
+	sys := allocTestSystem(4096)
+	sim, err := NewSimulation(sys, Config{
+		DT: 1e-3, G: 1, Eps: 0.01, Ncrit: 500, Workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Prime(); err != nil {
+		t.Fatal(err)
+	}
+	if sim.LastReport.BytesAlloc <= 0 {
+		t.Fatalf("priming step reported BytesAlloc=%d, want > 0 (cold path allocates arenas)", sim.LastReport.BytesAlloc)
+	}
+	for i := 0; i < 4; i++ {
+		if err := sim.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sim.LastReport.BytesAlloc < 0 {
+		t.Fatalf("steady-state BytesAlloc=%d, want >= 0", sim.LastReport.BytesAlloc)
+	}
+	// Steady state must be far below one particle-array's worth
+	// (4096 * 24 bytes would already signal a lost arena).
+	if sim.LastReport.BytesAlloc > 1<<20 {
+		t.Fatalf("steady-state Step allocated %d bytes, want < 1 MiB", sim.LastReport.BytesAlloc)
+	}
+}
+
+// ExampleStepReport_tBuild shows the derived t_build field.
+func ExampleStepReport_tBuild() {
+	r := obs.StepReport{}
+	r.Phases.MortonSort = 0.5
+	r.Phases.TreeBuild = 1.5
+	r.TBuild = r.Phases.MortonSort + r.Phases.TreeBuild
+	fmt.Println(r.TBuild)
+	// Output: 2
+}
