@@ -3,7 +3,7 @@
 GO  ?= go
 BIN := bin
 
-.PHONY: all build test race lint bench-smoke bench-alloc clean
+.PHONY: all build test race lint bench-smoke bench-alloc ckpt-e2e clean
 
 all: build test lint
 
@@ -42,6 +42,15 @@ bench-alloc:
 	GOMAXPROCS=4 $(GO) test -count=1 -run 'TestStepAllocs|TestBuildSteadyStateAllocs' . ./internal/octree
 	GOMAXPROCS=1 $(GO) test -count=1 -run 'TestBuildParallelMatchesSerial|TestBuilderReuseMatchesFresh' ./internal/octree
 	GOMAXPROCS=4 $(GO) test -count=1 -run 'TestBuildParallelMatchesSerial|TestBuilderReuseMatchesFresh' ./internal/octree
+
+# ckpt-e2e gates the crash-safe checkpoint/restart layer (DESIGN.md
+# §12): kill/resume bitwise-identity, torn-checkpoint fallback, graceful
+# SIGINT and the supervised crash loop — through the real binaries,
+# under the race detector — plus the checkpoint reader's corruption
+# guarantees at the unit level.
+ckpt-e2e:
+	$(GO) test -count=1 -race -run 'TestE2E' ./cmd/grape5sim ./cmd/simrun
+	$(GO) test -count=1 -run 'TestEveryBitFlipDetected|TestEveryTruncationDetected|TestLatestValid' ./internal/ckpt
 
 clean:
 	rm -rf $(BIN)

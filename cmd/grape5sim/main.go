@@ -1,30 +1,165 @@
 // Command grape5sim runs N-body simulations with the treecode on the
 // emulated GRAPE-5 (or the float64 host engine), the way the paper's
 // headline run was driven: fixed-timestep leapfrog, per-step
-// performance statistics, optional snapshot output.
+// performance statistics, optional snapshot output — and crash-safe
+// checkpointing, so a killed run resumes bitwise identical to the
+// uninterrupted one.
 //
 // Examples:
 //
 //	grape5sim -model plummer -n 10000 -steps 100 -engine grape5
 //	grape5sim -model cosmo -grid 32 -steps 400 -snap run_%04d.g5 -every 100
+//	grape5sim -model cosmo -grid 32 -steps 999 -ckpt-dir run1.ckpt -ckpt-every 50
+//
+// With -ckpt-dir the run checkpoints every -ckpt-every steps (atomic
+// write, keep-last -ckpt-keep rotation) and automatically resumes from
+// the latest valid checkpoint when restarted with the same directory —
+// falling back to an older generation if the newest is corrupt, and
+// refusing loudly if none survive. SIGINT/SIGTERM finish the step in
+// flight, write a final checkpoint and exit 0.
 package main
 
 import (
+	"bytes"
+	"encoding/binary"
 	"encoding/csv"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"math"
 	"os"
+	"os/signal"
+	"path/filepath"
+	"strconv"
 	"strings"
+	"syscall"
 
 	grape5 "repro"
 	"repro/internal/analysis"
+	"repro/internal/ckpt"
+	"repro/internal/fsx"
 	"repro/internal/g5"
 	"repro/internal/perf"
 	"repro/internal/snapio"
 	"repro/internal/units"
 )
+
+func parseEngine(name string) (grape5.EngineKind, error) {
+	switch name {
+	case "host":
+		return grape5.EngineHost, nil
+	case "grape5":
+		return grape5.EngineGRAPE5, nil
+	case "pm":
+		return grape5.EnginePM, nil
+	}
+	return 0, fmt.Errorf("unknown engine %q", name)
+}
+
+func engineName(k grape5.EngineKind) string {
+	switch k {
+	case grape5.EngineHost:
+		return "host"
+	case grape5.EngineGRAPE5:
+		return "grape5"
+	case grape5.EnginePM:
+		return "pm"
+	}
+	return fmt.Sprintf("engine-%d", int(k))
+}
+
+// loadResumeFile sniffs the file's magic and loads either a checkpoint
+// (full state, bitwise resume) or a snapshot (initial conditions plus
+// provenance; the resume re-primes).
+func loadResumeFile(path string) (*ckpt.Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	var raw [4]byte
+	_, rerr := io.ReadFull(f, raw[:])
+	if cerr := f.Close(); cerr != nil {
+		return nil, cerr
+	}
+	if rerr != nil {
+		return nil, fmt.Errorf("%s: reading magic: %w", path, rerr)
+	}
+	switch binary.LittleEndian.Uint32(raw[:]) {
+	case ckpt.Magic:
+		return ckpt.ReadFile(path)
+	case snapio.Magic:
+		h, s, err := snapio.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		return ckpt.FromSnapshot(h, s), nil
+	}
+	return nil, fmt.Errorf("%s: neither a checkpoint nor a snapshot (magic %#x)", path, binary.LittleEndian.Uint32(raw[:]))
+}
+
+// openStepLog opens the per-step CSV, resume-aware: on a fresh run it
+// creates the file with a header; on a resume it drops rows beyond the
+// resume step (the crashed incarnation may have logged steps whose
+// checkpoint never landed — the resumed run re-executes and re-logs
+// them) and appends. Rows are flushed per step so a crash tears at most
+// the row in flight, which the next resume prunes.
+func openStepLog(path string, resumeStep int, header []string) (*os.File, *csv.Writer, error) {
+	data, err := os.ReadFile(path)
+	fresh := resumeStep == 0 || err != nil
+	if err != nil && !os.IsNotExist(err) {
+		return nil, nil, err
+	}
+	if !fresh {
+		r := csv.NewReader(bytes.NewReader(data))
+		r.FieldsPerRecord = -1
+		var kept [][]string
+		for i := 0; ; i++ {
+			rec, err := r.Read()
+			if err != nil {
+				break // EOF or a torn final row: keep what parsed
+			}
+			if i == 0 {
+				kept = append(kept, rec)
+				continue
+			}
+			step, err := strconv.Atoi(rec[0])
+			if err != nil || step > resumeStep {
+				continue
+			}
+			kept = append(kept, rec)
+		}
+		if _, err := fsx.AtomicWriteFile(path, func(w io.Writer) error {
+			cw := csv.NewWriter(w)
+			if err := cw.WriteAll(kept); err != nil {
+				return err
+			}
+			cw.Flush()
+			return cw.Error()
+		}); err != nil {
+			return nil, nil, fmt.Errorf("pruning %s for resume: %w", path, err)
+		}
+	}
+	flags := os.O_CREATE | os.O_WRONLY
+	if fresh {
+		flags |= os.O_TRUNC
+	} else {
+		flags |= os.O_APPEND
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	w := csv.NewWriter(f)
+	if fresh {
+		if err := w.Write(header); err != nil {
+			return nil, nil, errors.Join(err, f.Close())
+		}
+		w.Flush()
+	}
+	return f, w, w.Error()
+}
 
 func main() {
 	log.SetFlags(0)
@@ -32,14 +167,14 @@ func main() {
 
 	var (
 		model  = flag.String("model", "plummer", "initial model: plummer, uniform, cosmo")
-		resume = flag.String("resume", "", "resume from a snapshot file (overrides -model; requires -dt)")
+		resume = flag.String("resume", "", "resume from a checkpoint or snapshot file (overrides -model)")
 		n      = flag.Int("n", 10000, "particle count (plummer/uniform)")
 		grid   = flag.Int("grid", 16, "IC grid size per dimension (cosmo; power of two)")
 		radius = flag.Float64("radius", units.PaperRadiusMpc, "comoving sphere radius in Mpc (cosmo)")
 		zinit  = flag.Float64("zinit", units.PaperZInit, "starting redshift (cosmo)")
 		sigma8 = flag.Float64("sigma8", 0.67, "power spectrum normalisation (cosmo)")
-		steps  = flag.Int("steps", 100, "number of leapfrog steps")
-		dt     = flag.Float64("dt", 0, "timestep (0 = model default)")
+		steps  = flag.Int("steps", 100, "total number of leapfrog steps (a resumed run continues to this count)")
+		dt     = flag.Float64("dt", 0, "timestep (0 = model default, or inherited on resume)")
 		theta  = flag.Float64("theta", 0.75, "Barnes-Hut opening parameter")
 		ncrit  = flag.Int("ncrit", 2000, "modified-algorithm group bound n_g")
 		eps    = flag.Float64("eps", 0, "Plummer softening (0 = model default)")
@@ -50,7 +185,19 @@ func main() {
 		snap   = flag.String("snap", "", "snapshot filename pattern (printf with step), e.g. snap_%04d.g5")
 		every  = flag.Int("every", 0, "snapshot interval in steps (0 = final only when -snap set)")
 		report = flag.Int("report", 10, "print statistics every this many steps")
-		csvLog = flag.String("log", "", "write per-step statistics to this CSV file")
+		csvLog = flag.String("log", "", "write per-step statistics to this CSV file (resume-aware)")
+
+		// Crash-safe checkpointing.
+		ckptDir   = flag.String("ckpt-dir", "", "checkpoint directory: periodic durable saves and automatic resume")
+		ckptEvery = flag.Int("ckpt-every", 100, "checkpoint interval in steps (with -ckpt-dir)")
+		ckptKeep  = flag.Int("ckpt-keep", ckpt.DefaultKeep, "checkpoint generations to retain")
+
+		// Crash injection for the kill/resume test harness. The step count
+		// is local to this process (steps *it* executed, not the global
+		// step index), so a supervised run makes progress every
+		// incarnation and terminates once the crash point passes the end.
+		crashStep = flag.Int("crash-at-step", 0, "inject a crash after this many locally-executed steps (testing)")
+		crashMode = flag.String("crash-mode", "kill", "crash flavour: kill (os.Exit mid-run) or torn-ckpt (truncated checkpoint, then exit)")
 
 		// Fault injection and the fault-tolerant offload path (grape5
 		// engine only). Rates are per-hardware-call probabilities.
@@ -67,32 +214,28 @@ func main() {
 	)
 	flag.Parse()
 
-	cfg := grape5.Config{Theta: *theta, Ncrit: *ncrit, Eps: *eps}
-	switch *engine {
-	case "host":
-		cfg.Engine = grape5.EngineHost
-	case "grape5":
-		cfg.Engine = grape5.EngineGRAPE5
-	case "pm":
-		cfg.Engine = grape5.EnginePM
-		cfg.PMGrid = *pmGrid
-	default:
-		log.Fatalf("unknown engine %q", *engine)
+	// Distinguish explicitly-set flags from defaults: on resume, an unset
+	// flag inherits the checkpoint's value; a set flag either matches or
+	// errors (it never silently drops checkpointed state).
+	setFlags := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { setFlags[f.Name] = true })
+
+	engKind, err := parseEngine(*engine)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *crashMode != "kill" && *crashMode != "torn-ckpt" {
+		log.Fatalf("unknown -crash-mode %q (want kill or torn-ckpt)", *crashMode)
+	}
+	if *crashStep > 0 && *crashMode == "torn-ckpt" && *ckptDir == "" {
+		log.Fatal("-crash-mode torn-ckpt requires -ckpt-dir")
 	}
 
 	faultsOn := *faultFlip > 0 || *faultStuck > 0 || *faultBus > 0 ||
 		*faultTrans > 0 || *failBoard > 0
-	if (faultsOn || *guard) && cfg.Engine != grape5.EngineGRAPE5 {
-		log.Fatal("fault injection and -guard require -engine grape5")
-	}
-	if *boards > 1 {
-		if cfg.Engine != grape5.EngineGRAPE5 {
-			log.Fatal("-boards requires -engine grape5")
-		}
-		cfg.Shards = *boards // every shard runs guarded
-	}
+	var hwCfg g5.Config
 	if faultsOn {
-		hwCfg := g5.DefaultConfig()
+		hwCfg = g5.DefaultConfig()
 		hwCfg.Fault = &g5.FaultModel{
 			Seed:            *faultSeed,
 			JMemBitFlipRate: *faultFlip,
@@ -103,90 +246,181 @@ func main() {
 			FailAfterRuns:   *failAfter,
 			FailSlot:        *failSlot,
 		}
-		cfg.GRAPE = hwCfg
 		if !*guard && *boards <= 1 {
 			fmt.Println("note: injecting faults without -guard; corruption goes undetected")
 		}
 	}
-	cfg.Guard = *guard
 
-	var sys *grape5.System
-	scale := 0.0
-	var t0, age0 float64 // cosmic start time and EdS age normalisation
-	if *resume != "" {
-		h, s, err := snapio.ReadFile(*resume)
+	// Resume discovery. Precedence: a valid checkpoint in -ckpt-dir wins
+	// (that is the supervised-restart path); -resume names an explicit
+	// file. Having both a valid store checkpoint and -resume is ambiguous
+	// and refused. A store where every generation is corrupt is a loud
+	// error, never a silent fresh start.
+	var store *ckpt.Store
+	var resumed *ckpt.Checkpoint
+	fromStore := false
+	if *ckptDir != "" {
+		store, err = ckpt.OpenStore(*ckptDir, *ckptKeep)
 		if err != nil {
 			log.Fatal(err)
 		}
-		sys = s
-		scale = h.Scale
-		if cfg.Eps == 0 {
-			cfg.Eps = h.Eps
+		c, gen, lerr := store.LatestValid()
+		switch {
+		case lerr == nil:
+			if *resume != "" {
+				log.Fatalf("ambiguous resume: -ckpt-dir %s holds a valid checkpoint (step %d) and -resume %s was also given; drop one",
+					*ckptDir, gen.Step, *resume)
+			}
+			resumed = c
+			fromStore = true
+			fmt.Printf("resuming from %s (step %d, t=%.6g)\n",
+				filepath.Join(*ckptDir, gen.File), gen.Step, c.State.Time)
+		case errors.Is(lerr, ckpt.ErrNoCheckpoint):
+			// Fresh store: start from the model or -resume.
+		default:
+			log.Fatalf("checkpoint discovery failed — refusing to silently restart: %v", lerr)
 		}
-		if *dt == 0 {
-			log.Fatal("-resume requires an explicit -dt")
-		}
-		cfg.DT = *dt
-		fmt.Printf("resumed %s: N=%d t=%.5g step=%d\n", *resume, sys.N(), h.Time, h.Step)
-		*model = "resumed"
 	}
-	switch *model {
-	case "resumed":
-		// System already loaded.
-	case "plummer":
-		cfg.G = 1
-		sys = grape5.Plummer(*n, 1, 1, 1, *seed)
-		if cfg.Eps == 0 {
-			cfg.Eps = 0.02
-		}
-		cfg.DT = 0.005
-	case "uniform":
-		cfg.G = 1
-		sys = grape5.UniformSphere(*n, 1, 1, *seed)
-		if cfg.Eps == 0 {
-			cfg.Eps = 0.02
-		}
-		cfg.DT = 0.002
-	case "cosmo":
-		cs, err := grape5.NewCosmoSphere(grape5.CosmoSphereParams{
-			GridN: *grid, RadiusMpc: *radius, ZInit: *zinit, Sigma8: *sigma8, Seed: *seed,
-		}, *steps)
+	if resumed == nil && *resume != "" {
+		resumed, err = loadResumeFile(*resume)
 		if err != nil {
 			log.Fatal(err)
 		}
-		sys = cs.Sys
-		cfg.DT = cs.Schedule.DT()
-		if cfg.Eps == 0 {
-			cfg.Eps = cs.GridSpacing * cs.AInit // initial physical spacing
-		}
-		scale = cs.AInit
-		t0 = cs.Schedule.T0
-		age0 = cs.Schedule.T1 // EdS age at a=1
-		fmt.Printf("cosmological sphere: N=%d, particle mass %.4g x 1e10 Msun, spacing %.3g Mpc, z=%.1f -> 0\n",
-			sys.N(), cs.ParticleMass, cs.GridSpacing, *zinit)
-	default:
-		log.Fatalf("unknown model %q", *model)
-	}
-	if *dt != 0 {
-		cfg.DT = *dt
+		fmt.Printf("resuming from %s: N=%d step=%d t=%.6g primed=%v\n",
+			*resume, resumed.Sys.N(), resumed.State.Step, resumed.State.Time, resumed.State.Primed)
 	}
 
-	sim, err := grape5.NewSimulation(sys, cfg)
-	if err != nil {
-		log.Fatal(err)
+	var sim *grape5.Simulation
+	if resumed != nil {
+		if setFlags["model"] {
+			// An auto-resume re-execs the original command line (that is
+			// how a supervised restart works), so the model flags are
+			// simply superseded by the checkpoint. Naming both an
+			// explicit -resume file and a model is genuinely ambiguous.
+			if fromStore {
+				fmt.Println("note: -model superseded by the checkpoint; particle state resumes")
+			} else {
+				log.Fatal("-model conflicts with -resume: the particle state comes from the file; drop one")
+			}
+		}
+		st := resumed.State
+		if setFlags["engine"] && st.Engine >= 0 && int64(engKind) != st.Engine {
+			log.Fatalf("resume: checkpoint ran -engine %s but -engine %s was given; drop the flag or start a fresh run",
+				engineName(grape5.EngineKind(st.Engine)), *engine)
+		}
+		// Overlay config: only explicitly-set flags; everything else
+		// inherits the checkpoint's fingerprint (ResumeConfig errors on
+		// any conflict).
+		overlay := grape5.Config{Guard: *guard, GuardPolicy: g5.GuardPolicy{}, GRAPE: hwCfg}
+		if setFlags["engine"] {
+			overlay.Engine = engKind
+		}
+		if setFlags["theta"] {
+			overlay.Theta = *theta
+		}
+		if setFlags["ncrit"] {
+			overlay.Ncrit = *ncrit
+		}
+		if setFlags["eps"] {
+			overlay.Eps = *eps
+		}
+		if setFlags["dt"] {
+			overlay.DT = *dt
+		}
+		if setFlags["pmgrid"] {
+			overlay.PMGrid = *pmGrid
+		}
+		if setFlags["boards"] {
+			overlay.Shards = *boards
+		}
+		sim, err = grape5.ResumeSimulation(resumed, overlay)
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		cfg := grape5.Config{Theta: *theta, Ncrit: *ncrit, Eps: *eps,
+			Engine: engKind, Guard: *guard, GRAPE: hwCfg}
+		if engKind == grape5.EnginePM {
+			cfg.PMGrid = *pmGrid
+		}
+		if (faultsOn || *guard) && engKind != grape5.EngineGRAPE5 {
+			log.Fatal("fault injection and -guard require -engine grape5")
+		}
+		if *boards > 1 {
+			if engKind != grape5.EngineGRAPE5 {
+				log.Fatal("-boards requires -engine grape5")
+			}
+			cfg.Shards = *boards // every shard runs guarded
+		}
+
+		var sys *grape5.System
+		aux := grape5.RunAux{Seed: *seed}
+		switch *model {
+		case "plummer":
+			cfg.G = 1
+			sys = grape5.Plummer(*n, 1, 1, 1, *seed)
+			if cfg.Eps == 0 {
+				cfg.Eps = 0.02
+			}
+			cfg.DT = 0.005
+		case "uniform":
+			cfg.G = 1
+			sys = grape5.UniformSphere(*n, 1, 1, *seed)
+			if cfg.Eps == 0 {
+				cfg.Eps = 0.02
+			}
+			cfg.DT = 0.002
+		case "cosmo":
+			cs, err := grape5.NewCosmoSphere(grape5.CosmoSphereParams{
+				GridN: *grid, RadiusMpc: *radius, ZInit: *zinit, Sigma8: *sigma8, Seed: *seed,
+			}, *steps)
+			if err != nil {
+				log.Fatal(err)
+			}
+			sys = cs.Sys
+			cfg.DT = cs.Schedule.DT()
+			if cfg.Eps == 0 {
+				cfg.Eps = cs.GridSpacing * cs.AInit // initial physical spacing
+			}
+			aux.Scale = cs.AInit
+			aux.T0 = cs.Schedule.T0
+			aux.Age0 = cs.Schedule.T1 // EdS age at a=1
+			fmt.Printf("cosmological sphere: N=%d, particle mass %.4g x 1e10 Msun, spacing %.3g Mpc, z=%.1f -> 0\n",
+				sys.N(), cs.ParticleMass, cs.GridSpacing, *zinit)
+		default:
+			log.Fatalf("unknown model %q", *model)
+		}
+		if *dt != 0 {
+			cfg.DT = *dt
+		}
+		sim, err = grape5.NewSimulation(sys, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sim.SetAux(aux)
 	}
 	defer func() {
 		if err := sim.Close(); err != nil {
 			log.Printf("close: %v", err)
 		}
 	}()
-	if err := sim.Prime(); err != nil {
-		log.Fatal(err)
+
+	cfg := sim.Config()
+	aux := sim.Aux()
+	// A primed resume already holds the post-force state of its step; a
+	// re-prime would be both wasted work and a determinism bug.
+	if !sim.Primed() {
+		if err := sim.Prime(); err != nil {
+			log.Fatal(err)
+		}
 	}
 	e0 := sim.Energy()
-	fmt.Printf("model=%s N=%d steps=%d dt=%.4g theta=%.2f ncrit=%d eps=%.4g engine=%s\n",
-		*model, sys.N(), *steps, cfg.DT, *theta, *ncrit, cfg.Eps, *engine)
+	fmt.Printf("N=%d steps=%d..%d dt=%.4g theta=%.2f ncrit=%d eps=%.4g engine=%s\n",
+		sim.Sys.N(), sim.Steps(), *steps, cfg.DT, cfg.Theta, cfg.Ncrit, cfg.Eps, engineName(cfg.Engine))
 	fmt.Printf("initial energy: K=%.4g U=%.4g E=%.4g\n", e0.Kinetic, e0.Potential, e0.Total())
+	if sim.Steps() >= *steps {
+		fmt.Printf("nothing to do: checkpoint is at step %d and -steps is %d\n", sim.Steps(), *steps)
+	}
 
 	writeSnap := func(step int) {
 		if *snap == "" {
@@ -196,13 +430,13 @@ func main() {
 		if strings.Contains(name, "%") {
 			name = fmt.Sprintf(name, step)
 		}
-		sc := scale
-		if *model == "cosmo" && age0 > 0 {
+		sc := aux.Scale
+		if aux.Age0 > 0 {
 			// Einstein-de Sitter: a(t) = (t/t_0)^{2/3}.
-			sc = math.Pow((t0+sim.Time())/age0, 2.0/3.0)
+			sc = math.Pow((aux.T0+sim.Time())/aux.Age0, 2.0/3.0)
 		}
 		h := snapio.Header{Time: sim.Time(), Step: int64(step), Scale: sc,
-			Eps: cfg.Eps, Theta: *theta}
+			Eps: cfg.Eps, Theta: cfg.Theta, DT: cfg.DT}
 		if err := snapio.WriteFile(name, h, sim.Sys); err != nil {
 			log.Fatalf("writing %s: %v", name, err)
 		}
@@ -211,23 +445,52 @@ func main() {
 
 	var logW *csv.Writer
 	if *csvLog != "" {
-		f, err := os.Create(*csvLog)
+		f, w, err := openStepLog(*csvLog, sim.Steps(), []string{
+			"step", "time", "groups", "interactions",
+			"avg_list", "build_ms", "walk_ms", "compute_ms",
+			"kinetic", "potential", "total_energy"})
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer f.Close()
-		logW = csv.NewWriter(f)
+		logW = w
 		defer logW.Flush()
-		if err := logW.Write([]string{"step", "time", "groups", "interactions",
-			"avg_list", "build_ms", "walk_ms", "compute_ms",
-			"kinetic", "potential", "total_energy"}); err != nil {
-			log.Fatal(err)
-		}
 	}
 
-	for s := 1; s <= *steps; s++ {
+	saveCkpt := func() ckpt.SaveInfo {
+		info, err := sim.Checkpoint(store)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("ckpt: wrote %s (step %d, %d bytes, %.1f ms)\n",
+			filepath.Base(info.Path), info.Step, info.Bytes,
+			1e3*sim.LastReport.Phases.Checkpoint)
+		return info
+	}
+
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	localSteps := 0
+
+	for s := sim.Steps() + 1; s <= *steps; s++ {
 		if err := sim.Step(); err != nil {
 			log.Fatalf("step %d: %v", s, err)
+		}
+		localSteps++
+		// Crash injection sits right after the physics and before any
+		// bookkeeping: the harshest point — telemetry, CSV rows and the
+		// periodic checkpoint for this step are all lost.
+		if *crashStep > 0 && localSteps == *crashStep {
+			if *crashMode == "torn-ckpt" {
+				info := saveCkpt()
+				if err := os.Truncate(info.Path, info.Bytes/2); err != nil {
+					log.Fatal(err)
+				}
+				fmt.Printf("crash: tore checkpoint %s, exiting\n", filepath.Base(info.Path))
+				os.Exit(3)
+			}
+			fmt.Printf("crash: injected kill after local step %d (global step %d)\n", localSteps, s)
+			os.Exit(3)
 		}
 		if *report > 0 && s%*report == 0 {
 			st := sim.LastStats
@@ -254,10 +517,41 @@ func main() {
 			if err := logW.Write(rec); err != nil {
 				log.Fatal(err)
 			}
+			// Flush per row: a crash loses at most the torn row in
+			// flight, which the resume path prunes.
+			logW.Flush()
+			if err := logW.Error(); err != nil {
+				log.Fatal(err)
+			}
 		}
 		if *every > 0 && s%*every == 0 {
 			writeSnap(s)
 		}
+		if store != nil && *ckptEvery > 0 && s%*ckptEvery == 0 && s < *steps {
+			saveCkpt()
+		}
+		select {
+		case sig := <-sigCh:
+			// Graceful shutdown: the step in flight is already complete,
+			// so the checkpoint captures a clean boundary. A second
+			// signal aborts immediately.
+			go func() { <-sigCh; os.Exit(130) }()
+			fmt.Printf("%v: stopping after step %d\n", sig, s)
+			if store != nil {
+				saveCkpt()
+			}
+			if err := sim.Close(); err != nil {
+				log.Printf("close: %v", err)
+			}
+			fmt.Println("interrupted: state saved; rerun with the same -ckpt-dir to continue")
+			os.Exit(0)
+		default:
+		}
+	}
+	if store != nil && sim.Steps() == *steps {
+		// Final checkpoint: a supervised restart of a completed run sees
+		// step == -steps and exits cleanly instead of recomputing.
+		saveCkpt()
 	}
 	if *every == 0 {
 		writeSnap(*steps)
@@ -275,15 +569,17 @@ func main() {
 		e1.Kinetic, e1.Potential, e1.Total(), (e1.Total()-e0.Total())/denom)
 	fmt.Printf("total interactions: %.4g (avg list %.0f)\n",
 		float64(sim.TotalInteractions),
-		float64(sim.TotalInteractions)/float64(sys.N())/float64(*steps+1))
+		float64(sim.TotalInteractions)/float64(sim.Sys.N())/float64(*steps+1))
 
-	if c := sim.HardwareCounters(); c.Runs > 0 {
+	if c := sim.HardwareCounters(); c.Runs > 0 && sim.Config().Engine == grape5.EngineGRAPE5 {
 		cl := sim.Cluster()
-		var hwCfg g5.Config
+		var bCfg g5.Config
 		if cl != nil {
-			hwCfg = cl.Config()
+			bCfg = cl.Config()
+		} else if hw := sim.Hardware(); hw != nil {
+			bCfg = hw.Config()
 		} else {
-			hwCfg = sim.Hardware().Config()
+			bCfg = g5.DefaultConfig()
 		}
 		k := 1
 		if cl != nil {
@@ -298,7 +594,7 @@ func main() {
 			wall = cl.CriticalHWSeconds()
 		}
 		fmt.Printf("GRAPE-5 modelled time: pipe %.3gs + bus %.3gs = %.3gs aggregate (peak %.4g Gflops)\n",
-			c.PipeSeconds, c.BusSeconds, c.HWSeconds(), float64(k)*hwCfg.PeakFlops()/1e9)
+			c.PipeSeconds, c.BusSeconds, c.HWSeconds(), float64(k)*bCfg.PeakFlops()/1e9)
 		if cl != nil {
 			loads := cl.ShardInteractions()
 			fmt.Printf("cluster: K=%d shards, critical-path hardware time %.3gs, steals=%d\n",
@@ -306,31 +602,31 @@ func main() {
 			for s, ints := range loads {
 				fmt.Printf("  shard %d: interactions=%.3g batches=%d boards=%d/%d\n",
 					s, float64(ints), cl.ShardBatches()[s],
-					cl.ShardSystem(s).ActiveBoards(), hwCfg.Boards)
+					cl.ShardSystem(s).ActiveBoards(), bCfg.Boards)
 			}
 		}
 		gb := perf.GordonBell{
 			Interactions:         float64(sim.TotalInteractions),
 			OriginalInteractions: float64(sim.TotalInteractions), // raw accounting here
 			WallClockSeconds:     wall,
-			OpsPerInteraction:    hwCfg.OpsPerInteraction,
+			OpsPerInteraction:    bCfg.OpsPerInteraction,
 			Cost:                 perf.PaperCostModel(),
 		}
 		fmt.Printf("hardware-side sustained speed: %.3g Gflops of %.4g peak\n",
-			gb.RawFlops()/1e9, float64(k)*hwCfg.PeakFlops()/1e9)
+			gb.RawFlops()/1e9, float64(k)*bCfg.PeakFlops()/1e9)
 	}
 	if fs := sim.FaultStats(); fs != (g5.FaultStats{}) {
 		fmt.Printf("injected faults: bitflips=%d stuck-pipe-calls=%d bus=%d transient=%d\n",
 			fs.JMemBitFlips, fs.StuckPipeCalls, fs.BusErrors, fs.Transients)
 	}
-	if *guard || *boards > 1 {
-		fmt.Printf("recovery: %s\n", sim.Recovery())
+	if rec := sim.Recovery(); rec != (g5.Recovery{}) {
+		fmt.Printf("recovery: %s\n", rec)
 		if cl := sim.Cluster(); cl != nil {
 			fmt.Printf("boards in service: %d of %d (across %d shards)\n",
 				cl.ActiveBoards(), cl.Shards()*cl.Config().Boards, cl.Shards())
-		} else {
+		} else if hw := sim.Hardware(); hw != nil {
 			fmt.Printf("boards in service: %d of %d\n",
-				sim.Hardware().ActiveBoards(), sim.Hardware().Config().Boards)
+				hw.ActiveBoards(), hw.Config().Boards)
 		}
 	}
 

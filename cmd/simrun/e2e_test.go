@@ -1,0 +1,128 @@
+package main
+
+// Supervisor end-to-end tests: a repeatedly-crashing simulation must be
+// driven to completion (bitwise equal to an uninterrupted run), and a
+// run that is broken outright must trip the circuit breaker instead of
+// looping forever.
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	buildOnce sync.Once
+	buildDir  string
+	buildErr  error
+)
+
+// bins builds simrun and grape5sim once per test run.
+func bins(t *testing.T) (simrun, grape5sim string) {
+	t.Helper()
+	buildOnce.Do(func() {
+		buildDir, buildErr = os.MkdirTemp("", "simrun-e2e-")
+		if buildErr != nil {
+			return
+		}
+		for pkg, name := range map[string]string{".": "simrun", "../grape5sim": "grape5sim"} {
+			out, err := exec.Command("go", "build", "-o", filepath.Join(buildDir, name), pkg).CombinedOutput()
+			if err != nil {
+				buildErr = fmt.Errorf("building %s: %v\n%s", name, err, out)
+				return
+			}
+		}
+	})
+	if buildErr != nil {
+		t.Fatal(buildErr)
+	}
+	return filepath.Join(buildDir, "simrun"), filepath.Join(buildDir, "grape5sim")
+}
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if buildDir != "" {
+		os.RemoveAll(buildDir)
+	}
+	os.Exit(code)
+}
+
+// TestE2ESupervisedCrashLoopCompletes: the child kills itself after
+// every 3 locally-executed steps, so finishing 10 steps takes several
+// incarnations; the supervisor must carry it through, and the result
+// must be bitwise identical to a run that never crashed.
+func TestE2ESupervisedCrashLoopCompletes(t *testing.T) {
+	simrun, grape5sim := bins(t)
+
+	refDir := t.TempDir()
+	refArgs := []string{"-model", "plummer", "-n", "400", "-steps", "10",
+		"-engine", "host", "-report", "0", "-snap", filepath.Join(refDir, "final.g5")}
+	if out, err := exec.Command(grape5sim, refArgs...).CombinedOutput(); err != nil {
+		t.Fatalf("reference run: %v\n%s", err, out)
+	}
+	refSnap, err := os.ReadFile(filepath.Join(refDir, "final.g5"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	cmd := exec.Command(simrun,
+		"-backoff", "10ms", "-max-backoff", "50ms",
+		// Every incarnation checkpoints before its crash (ckpt-every 2 <
+		// crash-at-step 3), so each one is guaranteed progress; a large
+		// min-uptime with a generous breaker still lets ~4 fast crashes
+		// through.
+		"-min-uptime", "1h", "-max-restarts", "20",
+		"--", grape5sim,
+		"-model", "plummer", "-n", "400", "-steps", "10",
+		"-engine", "host", "-report", "0",
+		"-snap", filepath.Join(dir, "final.g5"),
+		"-ckpt-dir", filepath.Join(dir, "ckpt"),
+		"-ckpt-every", "2", "-crash-at-step", "3")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("supervised run failed: %v\n%s", err, out)
+	}
+	text := string(out)
+	if !strings.Contains(text, "restarting in") {
+		t.Fatalf("supervisor never restarted the child:\n%s", text)
+	}
+	if !strings.Contains(text, "run completed after") {
+		t.Fatalf("completion marker missing:\n%s", text)
+	}
+	got, err := os.ReadFile(filepath.Join(dir, "final.g5"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, refSnap) {
+		t.Error("supervised crash-loop run is not bitwise equal to the uninterrupted run")
+	}
+}
+
+// TestE2ECircuitBreaker: a child that fails instantly every time must
+// open the breaker after -max-restarts consecutive fast crashes.
+func TestE2ECircuitBreaker(t *testing.T) {
+	simrun, grape5sim := bins(t)
+	cmd := exec.Command(simrun,
+		"-backoff", "5ms", "-max-backoff", "10ms",
+		"-min-uptime", "1h", "-max-restarts", "3",
+		"--", grape5sim, "-engine", "no-such-engine")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("supervisor exited 0 for a permanently-broken child:\n%s", out)
+	}
+	text := string(out)
+	if !strings.Contains(text, "circuit breaker open: 3 consecutive crashes") {
+		t.Fatalf("breaker marker missing:\n%s", text)
+	}
+	// Exactly maxRestarts incarnations ran: the initial attempt plus two
+	// restarts.
+	if got := strings.Count(text, "unknown engine"); got != 3 {
+		t.Errorf("child ran %d times, want 3:\n%s", got, text)
+	}
+}

@@ -1,0 +1,133 @@
+// Command simrun supervises a long simulation: it runs the given
+// command, and when the command crashes (non-zero exit), restarts it
+// with capped exponential backoff. Paired with grape5sim's -ckpt-dir
+// auto-resume, a multi-day run survives crashes and machine restarts
+// with at most one checkpoint interval of recomputation:
+//
+//	simrun -- grape5sim -model cosmo -grid 32 -steps 999 -ckpt-dir run1.ckpt
+//
+// A child that exits 0 ends the supervision with exit 0. A child that
+// keeps crashing immediately (before -min-uptime) trips a circuit
+// breaker after -max-restarts consecutive fast failures — a broken
+// configuration must fail loudly, not burn CPU in a crash loop. Any
+// crash that happens after -min-uptime of useful work resets both the
+// backoff and the breaker. SIGINT/SIGTERM are forwarded to the child
+// (started in its own process group) so it can checkpoint and exit
+// gracefully; the supervisor then exits with the child's code instead
+// of restarting it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/exec"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
+	"time"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("simrun: ")
+
+	var (
+		maxRestarts = flag.Int("max-restarts", 5, "consecutive fast failures before the circuit breaker opens")
+		minUptime   = flag.Duration("min-uptime", 10*time.Second, "runtime after which a crash counts as progress (resets backoff and breaker)")
+		backoff0    = flag.Duration("backoff", time.Second, "initial restart backoff")
+		maxBackoff  = flag.Duration("max-backoff", time.Minute, "backoff cap")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: simrun [flags] -- command [args...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	argv := flag.Args()
+	if len(argv) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	// Forward termination signals to the child's process group. The child
+	// runs in its own group so a terminal ^C reaches it exactly once,
+	// via us — not once from the kernel and again from the relay.
+	var child atomic.Pointer[os.Process]
+	var stopping atomic.Bool
+	sigCh := make(chan os.Signal, 4)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		for sig := range sigCh {
+			stopping.Store(true)
+			if p := child.Load(); p != nil {
+				s, ok := sig.(syscall.Signal)
+				if !ok {
+					s = syscall.SIGTERM
+				}
+				// Negative pid signals the group.
+				if err := syscall.Kill(-p.Pid, s); err != nil {
+					log.Printf("forwarding %v: %v", sig, err)
+				}
+			}
+		}
+	}()
+
+	backoff := *backoff0
+	fastCrashes := 0
+	for attempt := 1; ; attempt++ {
+		cmd := exec.Command(argv[0], argv[1:]...)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		cmd.Stdin = os.Stdin
+		cmd.SysProcAttr = &syscall.SysProcAttr{Setpgid: true}
+		start := time.Now()
+		if err := cmd.Start(); err != nil {
+			log.Fatalf("starting %s: %v", argv[0], err)
+		}
+		child.Store(cmd.Process)
+		err := cmd.Wait()
+		child.Store(nil)
+		uptime := time.Since(start)
+
+		code := 0
+		if err != nil {
+			code = 1
+			if ee, ok := err.(*exec.ExitError); ok {
+				code = ee.ExitCode()
+			}
+		}
+		if code == 0 {
+			if attempt > 1 {
+				log.Printf("run completed after %d attempts", attempt)
+			}
+			os.Exit(0)
+		}
+		if stopping.Load() {
+			// We forwarded a termination signal; the child's exit is the
+			// outcome, not a crash to retry.
+			log.Printf("child exited %d after signal; stopping", code)
+			os.Exit(code)
+		}
+
+		if uptime >= *minUptime {
+			// Real progress before the crash: treat as a fresh incident.
+			fastCrashes = 0
+			backoff = *backoff0
+		} else {
+			fastCrashes++
+			if fastCrashes >= *maxRestarts {
+				log.Fatalf("circuit breaker open: %d consecutive crashes within %v (last exit %d) — fix the run, not the restart loop",
+					fastCrashes, *minUptime, code)
+			}
+		}
+		log.Printf("attempt %d exited %d after %v; restarting in %v",
+			attempt, code, uptime.Round(time.Millisecond), backoff)
+		time.Sleep(backoff)
+		backoff *= 2
+		if backoff > *maxBackoff {
+			backoff = *maxBackoff
+		}
+	}
+}

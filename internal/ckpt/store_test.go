@@ -1,0 +1,193 @@
+package ckpt
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func saveAt(t *testing.T, st *Store, step int64) SaveInfo {
+	t.Helper()
+	c := sampleCheckpoint(8)
+	c.State.Step = step
+	c.State.Time = float64(step) * 0.005
+	info, err := st.Save(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return info
+}
+
+func TestStoreRotationKeepsLastK(t *testing.T) {
+	st, err := OpenStore(t.TempDir(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := int64(5); step <= 30; step += 5 {
+		saveAt(t, st, step)
+	}
+	gens, err := st.Generations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gens) != 3 {
+		t.Fatalf("kept %d generations, want 3: %+v", len(gens), gens)
+	}
+	for i, wantStep := range []int64{20, 25, 30} {
+		if gens[i].Step != wantStep {
+			t.Errorf("generation %d at step %d, want %d", i, gens[i].Step, wantStep)
+		}
+	}
+	// Rotated files are really gone and no temp files linger.
+	ents, err := os.ReadDir(st.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var files []string
+	for _, e := range ents {
+		files = append(files, e.Name())
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Errorf("temp file left behind: %s", e.Name())
+		}
+	}
+	if len(files) != 4 { // 3 checkpoints + manifest
+		t.Errorf("directory holds %v, want 3 checkpoints + manifest", files)
+	}
+}
+
+func TestStoreSameStepReplaces(t *testing.T) {
+	st, err := OpenStore(t.TempDir(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saveAt(t, st, 10)
+	saveAt(t, st, 10)
+	gens, err := st.Generations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gens) != 1 || gens[0].Step != 10 {
+		t.Fatalf("generations = %+v, want single step-10 entry", gens)
+	}
+}
+
+func TestLatestValidPicksNewest(t *testing.T) {
+	st, err := OpenStore(t.TempDir(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saveAt(t, st, 5)
+	saveAt(t, st, 10)
+	c, gen, err := st.LatestValid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen.Step != 10 || c.State.Step != 10 {
+		t.Errorf("latest = step %d (gen %d), want 10", c.State.Step, gen.Step)
+	}
+}
+
+func TestLatestValidFallsBackPastCorruptGeneration(t *testing.T) {
+	st, err := OpenStore(t.TempDir(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saveAt(t, st, 5)
+	info := saveAt(t, st, 10)
+
+	// Corrupt the newest generation the way a torn write or bit rot
+	// would: truncate to half.
+	data, err := os.ReadFile(info.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(info.Path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c, gen, err := st.LatestValid()
+	if err != nil {
+		t.Fatalf("fallback failed: %v", err)
+	}
+	if gen.Step != 5 || c.State.Step != 5 {
+		t.Errorf("fell back to step %d, want 5", gen.Step)
+	}
+}
+
+func TestLatestValidAllCorruptIsLoud(t *testing.T) {
+	st, err := OpenStore(t.TempDir(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := saveAt(t, st, 5)
+	if err := os.WriteFile(info.Path, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = st.LatestValid()
+	if err == nil {
+		t.Fatal("all-corrupt store did not error")
+	}
+	if errors.Is(err, ErrNoCheckpoint) {
+		t.Fatal("all-corrupt store reported as empty — that silently restarts physics")
+	}
+}
+
+func TestLatestValidEmptyStore(t *testing.T) {
+	st, err := OpenStore(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Keep() != DefaultKeep {
+		t.Errorf("keep = %d, want default %d", st.Keep(), DefaultKeep)
+	}
+	if _, _, err := st.LatestValid(); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("err = %v, want ErrNoCheckpoint", err)
+	}
+}
+
+func TestDiscoveryWithoutManifest(t *testing.T) {
+	st, err := OpenStore(t.TempDir(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saveAt(t, st, 5)
+	saveAt(t, st, 10)
+	// Lose the manifest (e.g. crash between checkpoint and manifest
+	// write on a fresh store): discovery must fall back to the scan.
+	if err := os.Remove(filepath.Join(st.Dir(), ManifestName)); err != nil {
+		t.Fatal(err)
+	}
+	c, gen, err := st.LatestValid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen.Step != 10 || c.State.Step != 10 {
+		t.Errorf("scan fallback found step %d, want 10", gen.Step)
+	}
+
+	// A corrupt manifest must behave the same as a missing one.
+	if err := os.WriteFile(filepath.Join(st.Dir(), ManifestName), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, gen, err = st.LatestValid(); err != nil || gen.Step != 10 {
+		t.Errorf("corrupt-manifest fallback: gen=%+v err=%v", gen, err)
+	}
+}
+
+func TestStoreIgnoresForeignFiles(t *testing.T) {
+	st, err := OpenStore(t.TempDir(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(st.Dir(), "notes.txt"), []byte("keep me"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for step := int64(1); step <= 4; step++ {
+		saveAt(t, st, step)
+	}
+	if _, err := os.Stat(filepath.Join(st.Dir(), "notes.txt")); err != nil {
+		t.Errorf("foreign file was pruned: %v", err)
+	}
+}

@@ -1,0 +1,93 @@
+package fsx
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestAtomicWriteFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.bin")
+	n, err := AtomicWriteFile(path, func(w io.Writer) error {
+		_, err := w.Write([]byte("hello"))
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Errorf("bytes = %d, want 5", n)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello" {
+		t.Errorf("contents = %q", got)
+	}
+	assertNoTemps(t, dir)
+}
+
+func TestAtomicWriteFileReplacesExisting(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.bin")
+	for _, payload := range []string{"first generation", "second"} {
+		p := payload
+		if _, err := AtomicWriteFile(path, func(w io.Writer) error {
+			_, err := io.WriteString(w, p)
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "second" {
+		t.Errorf("contents = %q, want the replacement", got)
+	}
+	assertNoTemps(t, dir)
+}
+
+func TestAtomicWriteFileFailedWriteLeavesTargetUntouched(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.bin")
+	if err := os.WriteFile(path, []byte("previous"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("payload failure")
+	if _, err := AtomicWriteFile(path, func(w io.Writer) error {
+		if _, err := io.WriteString(w, "half a pay"); err != nil {
+			return err
+		}
+		return boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped payload failure", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "previous" {
+		t.Errorf("target corrupted by failed write: %q", got)
+	}
+	assertNoTemps(t, dir)
+}
+
+func assertNoTemps(t *testing.T, dir string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Errorf("temp file left behind: %s", e.Name())
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package g5
+
+// Counter merging for checkpoint/restart. A resumed process starts with
+// fresh hardware state, so its live counters begin at zero; whole-run
+// totals are the checkpointed base plus whatever the current incarnation
+// has accumulated since. These Add methods define that merge in one
+// place so Simulation accessors and perfreport agree on the arithmetic.
+
+// Add returns the field-wise sum of two counter sets.
+func (c Counters) Add(o Counters) Counters {
+	return Counters{
+		Interactions:     c.Interactions + o.Interactions,
+		PipeSeconds:      c.PipeSeconds + o.PipeSeconds,
+		BusSeconds:       c.BusSeconds + o.BusSeconds,
+		BytesTransferred: c.BytesTransferred + o.BytesTransferred,
+		Runs:             c.Runs + o.Runs,
+		JPasses:          c.JPasses + o.JPasses,
+		RangeClamps:      c.RangeClamps + o.RangeClamps,
+	}
+}
+
+// Add returns the field-wise sum of two recovery records. HostOnly is
+// taken from the live (receiver's argument) side: a restart brings up
+// fresh hardware, so whether the run is currently degraded to host-only
+// is a property of this incarnation, not of history.
+func (r Recovery) Add(live Recovery) Recovery {
+	return Recovery{
+		Checks:          r.Checks + live.Checks,
+		Retries:         r.Retries + live.Retries,
+		CorruptResults:  r.CorruptResults + live.CorruptResults,
+		ExcludedBoards:  r.ExcludedBoards + live.ExcludedBoards,
+		FallbackBatches: r.FallbackBatches + live.FallbackBatches,
+		HostOnly:        live.HostOnly,
+	}
+}
+
+// Add returns the field-wise sum of two fault-injection tallies.
+func (f FaultStats) Add(o FaultStats) FaultStats {
+	return FaultStats{
+		JMemBitFlips:   f.JMemBitFlips + o.JMemBitFlips,
+		StuckPipeCalls: f.StuckPipeCalls + o.StuckPipeCalls,
+		BusErrors:      f.BusErrors + o.BusErrors,
+		Transients:     f.Transients + o.Transients,
+	}
+}

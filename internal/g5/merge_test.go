@@ -1,0 +1,53 @@
+package g5
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestCountersAddIsFieldComplete(t *testing.T) {
+	// Every field of the sum must differ from the base when the live side
+	// is all-ones; a zero delta means Add forgot a field.
+	base := Counters{Interactions: 10, PipeSeconds: 1, BusSeconds: 2,
+		BytesTransferred: 3, Runs: 4, JPasses: 5, RangeClamps: 6}
+	live := Counters{Interactions: 1, PipeSeconds: 1, BusSeconds: 1,
+		BytesTransferred: 1, Runs: 1, JPasses: 1, RangeClamps: 1}
+	got := base.Add(live)
+	want := Counters{Interactions: 11, PipeSeconds: 2, BusSeconds: 3,
+		BytesTransferred: 4, Runs: 5, JPasses: 6, RangeClamps: 7}
+	if got != want {
+		t.Errorf("Add = %+v, want %+v", got, want)
+	}
+	bv, gv := reflect.ValueOf(base), reflect.ValueOf(got)
+	for i := 0; i < bv.NumField(); i++ {
+		if reflect.DeepEqual(bv.Field(i).Interface(), gv.Field(i).Interface()) {
+			t.Errorf("field %s unchanged by Add", bv.Type().Field(i).Name)
+		}
+	}
+}
+
+func TestRecoveryAddTakesLiveHostOnly(t *testing.T) {
+	base := Recovery{Checks: 5, Retries: 4, CorruptResults: 3,
+		ExcludedBoards: 2, FallbackBatches: 1, HostOnly: true}
+	live := Recovery{Checks: 1, Retries: 1, CorruptResults: 1,
+		ExcludedBoards: 1, FallbackBatches: 1, HostOnly: false}
+	got := base.Add(live)
+	want := Recovery{Checks: 6, Retries: 5, CorruptResults: 4,
+		ExcludedBoards: 3, FallbackBatches: 2, HostOnly: false}
+	if got != want {
+		t.Errorf("Add = %+v, want %+v", got, want)
+	}
+	// Fresh incarnation already degraded: HostOnly must track live side.
+	if got := base.Add(Recovery{HostOnly: true}); !got.HostOnly {
+		t.Error("live HostOnly=true not propagated")
+	}
+}
+
+func TestFaultStatsAdd(t *testing.T) {
+	base := FaultStats{JMemBitFlips: 1, StuckPipeCalls: 2, BusErrors: 3, Transients: 4}
+	got := base.Add(FaultStats{JMemBitFlips: 10, StuckPipeCalls: 10, BusErrors: 10, Transients: 10})
+	want := FaultStats{JMemBitFlips: 11, StuckPipeCalls: 12, BusErrors: 13, Transients: 14}
+	if got != want {
+		t.Errorf("Add = %+v, want %+v", got, want)
+	}
+}

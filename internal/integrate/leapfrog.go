@@ -49,6 +49,17 @@ func (l *Leapfrog) Prime(s *nbody.System) error {
 	return nil
 }
 
+// Primed reports whether initial accelerations are available (Prime or
+// a first Step has run, or SetPrimed marked restored checkpoint state).
+func (l *Leapfrog) Primed() bool { return l.primed }
+
+// SetPrimed overrides the primed flag. A checkpoint resume restores the
+// post-force accelerations alongside positions and velocities and marks
+// the integrator primed, so the resumed run's next Step consumes them
+// exactly like the uninterrupted run would — no re-priming force call,
+// no divergence.
+func (l *Leapfrog) SetPrimed(primed bool) { l.primed = primed }
+
 // Step advances the system by one timestep: half-kick, drift,
 // recompute forces, half-kick.
 func (l *Leapfrog) Step(s *nbody.System) error {

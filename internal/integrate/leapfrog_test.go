@@ -169,3 +169,31 @@ func TestStepAutoPrimes(t *testing.T) {
 		t.Errorf("energy after auto-primed step = %v, want %v", e, want)
 	}
 }
+
+func TestPrimedFlag(t *testing.T) {
+	calls := 0
+	lf, err := NewLeapfrog(0.01, func(s *nbody.System) error { calls++; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lf.Primed() {
+		t.Fatal("fresh integrator reports primed")
+	}
+	s := nbody.New(2)
+	// A resume restores post-force accelerations and marks the
+	// integrator primed: the next Step must not re-run the force prime.
+	lf.SetPrimed(true)
+	if err := lf.Step(s); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("primed Step made %d force calls, want exactly the in-step one", calls)
+	}
+	lf.SetPrimed(false)
+	if err := lf.Step(s); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 3 {
+		t.Fatalf("unprimed Step made %d total force calls, want prime + step = 3", calls)
+	}
+}

@@ -57,13 +57,17 @@ const (
 	// PhaseReadback is the simulated per-board force readback time (g5
 	// timing model).
 	PhaseReadback
+	// PhaseCheckpoint is the wall-clock cost of serialising and durably
+	// writing a checkpoint (encode + fsync + rename), charged to the step
+	// that triggered it.
+	PhaseCheckpoint
 
 	numPhases
 )
 
 var phaseNames = [numPhases]string{
 	"morton_sort", "tree_build", "group_walk", "force_eval", "guard",
-	"j_transfer", "i_transfer", "pipeline", "readback",
+	"j_transfer", "i_transfer", "pipeline", "readback", "checkpoint",
 }
 
 // String returns the snake_case phase name used in the JSON schema.
@@ -94,13 +98,18 @@ const (
 	CntRecoveries
 	// CntFallbacks counts batches computed by the host fallback engine.
 	CntFallbacks
+	// CntCkptBytes is the durable size of checkpoints written this step.
+	CntCkptBytes
+	// CntCkptWrites is the number of checkpoints written this step
+	// (normally 0 or 1).
+	CntCkptWrites
 
 	numCounters
 )
 
 var counterNames = [numCounters]string{
 	"interactions", "flops", "bytes", "groups", "nodes_visited",
-	"recoveries", "fallbacks",
+	"recoveries", "fallbacks", "ckpt_bytes", "ckpt_writes",
 }
 
 // String returns the snake_case counter name used in the JSON schema.

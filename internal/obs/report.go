@@ -20,6 +20,10 @@ type PhaseSeconds struct {
 	ITransfer  float64 `json:"i_transfer"`
 	Pipeline   float64 `json:"pipeline"`
 	Readback   float64 `json:"readback"`
+	// Checkpoint is the durable-write cost charged to this step; omitted
+	// from JSON when zero so pre-checkpoint benchmark files stay valid
+	// under strict schema validation.
+	Checkpoint float64 `json:"checkpoint,omitempty"`
 }
 
 // StepReport is the structured telemetry of one simulation step — the
@@ -58,6 +62,10 @@ type StepReport struct {
 	// Recoveries and Fallbacks count fault-handling activity.
 	Recoveries int64 `json:"recoveries"`
 	Fallbacks  int64 `json:"fallbacks"`
+	// CkptBytes and CkptWrites record checkpoint activity (omitted when
+	// zero: most steps write no checkpoint).
+	CkptBytes  int64 `json:"ckpt_bytes,omitempty"`
+	CkptWrites int64 `json:"ckpt_writes,omitempty"`
 }
 
 // Snapshot rolls the Observer up into a StepReport for the given step
@@ -77,6 +85,7 @@ func (o *Observer) Snapshot(step int, wall time.Duration) StepReport {
 		ITransfer:  o.Seconds(PhaseITransfer),
 		Pipeline:   o.Seconds(PhasePipeline),
 		Readback:   o.Seconds(PhaseReadback),
+		Checkpoint: o.Seconds(PhaseCheckpoint),
 	}
 	r.THost = r.Phases.MortonSort + r.Phases.TreeBuild + r.Phases.GroupWalk + r.Phases.Guard
 	r.TBuild = r.Phases.MortonSort + r.Phases.TreeBuild
@@ -89,6 +98,8 @@ func (o *Observer) Snapshot(step int, wall time.Duration) StepReport {
 	r.NodesVisited = o.Count(CntNodesVisited)
 	r.Recoveries = o.Count(CntRecoveries)
 	r.Fallbacks = o.Count(CntFallbacks)
+	r.CkptBytes = o.Count(CntCkptBytes)
+	r.CkptWrites = o.Count(CntCkptWrites)
 	return r
 }
 

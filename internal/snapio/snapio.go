@@ -2,16 +2,26 @@
 // versioned binary format (little-endian, fixed header). The headline
 // run writes snapshots for restart and for the analysis tools
 // (cmd/snap2pgm, the correlation function, the paper's Figure 4).
+//
+// Format version 2 (current) adds the integration timestep to the
+// header — so resuming from a snapshot no longer needs a hand-typed
+// -dt — and a CRC-32C trailer over everything before it, so a torn or
+// bit-rotted snapshot is detected instead of silently integrated.
+// Version-1 files (no DT, no checksum) remain readable. Files are
+// written atomically (temp + fsync + rename): a crash mid-write leaves
+// the previous snapshot, never a torn one.
 package snapio
 
 import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 	"os"
 
+	"repro/internal/fsx"
 	"repro/internal/nbody"
 	"repro/internal/vec"
 )
@@ -19,8 +29,13 @@ import (
 // Magic identifies snapshot files ("G5SN").
 const Magic = 0x4735534e
 
-// Version is the current format version.
-const Version = 1
+// Version is the current format version (DT in header, CRC trailer).
+const Version = 2
+
+// versionLegacy is the original format: no DT field, no checksum.
+const versionLegacy = 1
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // Header precedes the particle payload.
 type Header struct {
@@ -35,26 +50,39 @@ type Header struct {
 	Scale float64
 	// Eps and Theta record the run parameters for provenance.
 	Eps, Theta float64
+	// DT is the integration timestep (version >= 2; 0 in legacy files,
+	// whose resume therefore requires an explicit timestep).
+	DT float64
 }
 
-// Write stores the system and header to w.
+// headerV1 is the version-1 header layout (no DT).
+type headerV1 struct {
+	N          int64
+	Time       float64
+	Step       int64
+	Scale      float64
+	Eps, Theta float64
+}
+
+// Write stores the system and header to w in the current format.
 func Write(w io.Writer, h Header, s *nbody.System) error {
 	h.N = int64(s.N())
 	bw := bufio.NewWriterSize(w, 1<<20)
 	le := binary.LittleEndian
+	cw := &crcWriter{w: bw}
 
-	if err := binary.Write(bw, le, uint32(Magic)); err != nil {
+	if err := binary.Write(cw, le, uint32(Magic)); err != nil {
 		return err
 	}
-	if err := binary.Write(bw, le, uint32(Version)); err != nil {
+	if err := binary.Write(cw, le, uint32(Version)); err != nil {
 		return err
 	}
-	if err := binary.Write(bw, le, h); err != nil {
+	if err := binary.Write(cw, le, h); err != nil {
 		return err
 	}
 	writeV3 := func(v []vec.V3) error {
 		for _, p := range v {
-			if err := binary.Write(bw, le, [3]float64{p.X, p.Y, p.Z}); err != nil {
+			if err := binary.Write(cw, le, [3]float64{p.X, p.Y, p.Z}); err != nil {
 				return err
 			}
 		}
@@ -66,35 +94,52 @@ func Write(w io.Writer, h Header, s *nbody.System) error {
 	if err := writeV3(s.Vel); err != nil {
 		return err
 	}
-	if err := binary.Write(bw, le, s.Mass); err != nil {
+	if err := binary.Write(cw, le, s.Mass); err != nil {
 		return err
 	}
-	if err := binary.Write(bw, le, s.ID); err != nil {
+	if err := binary.Write(cw, le, s.ID); err != nil {
+		return err
+	}
+	// CRC trailer over everything above, written outside the hash.
+	if err := binary.Write(bw, le, cw.crc); err != nil {
 		return err
 	}
 	return bw.Flush()
 }
 
-// Read loads a snapshot from r.
+// Read loads a snapshot from r. For version-2 files the CRC trailer is
+// verified; any mismatch is an error — corruption is never silently
+// returned as particle data.
 func Read(r io.Reader) (Header, *nbody.System, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
 	le := binary.LittleEndian
+	cr := &crcReader{r: br}
+
 	var magic, version uint32
-	if err := binary.Read(br, le, &magic); err != nil {
+	if err := binary.Read(cr, le, &magic); err != nil {
 		return Header{}, nil, fmt.Errorf("snapio: reading magic: %w", err)
 	}
 	if magic != Magic {
 		return Header{}, nil, fmt.Errorf("snapio: bad magic %#x", magic)
 	}
-	if err := binary.Read(br, le, &version); err != nil {
+	if err := binary.Read(cr, le, &version); err != nil {
 		return Header{}, nil, err
-	}
-	if version != Version {
-		return Header{}, nil, fmt.Errorf("snapio: unsupported version %d", version)
 	}
 	var h Header
-	if err := binary.Read(br, le, &h); err != nil {
-		return Header{}, nil, err
+	switch version {
+	case versionLegacy:
+		var h1 headerV1
+		if err := binary.Read(cr, le, &h1); err != nil {
+			return Header{}, nil, err
+		}
+		h = Header{N: h1.N, Time: h1.Time, Step: h1.Step, Scale: h1.Scale,
+			Eps: h1.Eps, Theta: h1.Theta}
+	case Version:
+		if err := binary.Read(cr, le, &h); err != nil {
+			return Header{}, nil, err
+		}
+	default:
+		return Header{}, nil, fmt.Errorf("snapio: unsupported version %d", version)
 	}
 	if h.N < 0 || h.N > 1<<31 {
 		return Header{}, nil, fmt.Errorf("snapio: implausible particle count %d", h.N)
@@ -112,7 +157,7 @@ func Read(r io.Reader) (Header, *nbody.System, error) {
 		out := make([]vec.V3, 0, pre)
 		var raw [24]byte
 		for i := 0; i < n; i++ {
-			if _, err := io.ReadFull(br, raw[:]); err != nil {
+			if _, err := io.ReadFull(cr, raw[:]); err != nil {
 				return nil, fmt.Errorf("snapio: %s: %w", what, err)
 			}
 			out = append(out, vec.V3{
@@ -135,7 +180,7 @@ func Read(r io.Reader) (Header, *nbody.System, error) {
 	{
 		var raw [8]byte
 		for i := 0; i < n; i++ {
-			if _, err := io.ReadFull(br, raw[:]); err != nil {
+			if _, err := io.ReadFull(cr, raw[:]); err != nil {
 				return Header{}, nil, fmt.Errorf("snapio: masses: %w", err)
 			}
 			mass = append(mass, math.Float64frombits(le.Uint64(raw[:])))
@@ -145,10 +190,19 @@ func Read(r io.Reader) (Header, *nbody.System, error) {
 	{
 		var raw [8]byte
 		for i := 0; i < n; i++ {
-			if _, err := io.ReadFull(br, raw[:]); err != nil {
+			if _, err := io.ReadFull(cr, raw[:]); err != nil {
 				return Header{}, nil, fmt.Errorf("snapio: ids: %w", err)
 			}
 			id = append(id, int64(le.Uint64(raw[:])))
+		}
+	}
+	if version >= 2 {
+		var stored uint32
+		if err := binary.Read(br, le, &stored); err != nil {
+			return Header{}, nil, fmt.Errorf("snapio: reading checksum trailer: %w", err)
+		}
+		if stored != cr.crc {
+			return Header{}, nil, fmt.Errorf("snapio: CRC mismatch (stored %#08x, computed %#08x): snapshot is corrupt", stored, cr.crc)
 		}
 	}
 	s := &nbody.System{
@@ -162,17 +216,14 @@ func Read(r io.Reader) (Header, *nbody.System, error) {
 	return h, s, nil
 }
 
-// WriteFile writes a snapshot to the named file.
+// WriteFile writes a snapshot to the named file atomically: a crash at
+// any instant leaves either the previous file or the complete new one,
+// never a torn mix.
 func WriteFile(path string, h Header, s *nbody.System) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := Write(f, h, s); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	_, err := fsx.AtomicWriteFile(path, func(w io.Writer) error {
+		return Write(w, h, s)
+	})
+	return err
 }
 
 // ReadFile loads a snapshot from the named file.
@@ -183,4 +234,28 @@ func ReadFile(path string) (Header, *nbody.System, error) {
 	}
 	defer f.Close()
 	return Read(f)
+}
+
+// crcWriter tees writes into a CRC-32C.
+type crcWriter struct {
+	w   io.Writer
+	crc uint32
+}
+
+func (c *crcWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.crc = crc32.Update(c.crc, castagnoli, p[:n])
+	return n, err
+}
+
+// crcReader tees reads into a CRC-32C.
+type crcReader struct {
+	r   io.Reader
+	crc uint32
+}
+
+func (c *crcReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.crc = crc32.Update(c.crc, castagnoli, p[:n])
+	return n, err
 }

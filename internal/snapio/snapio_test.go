@@ -2,11 +2,15 @@ package snapio
 
 import (
 	"bytes"
+	"encoding/binary"
+	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/nbody"
 	"repro/internal/rng"
+	"repro/internal/vec"
 )
 
 func sample(n int, seed uint64) *nbody.System {
@@ -96,5 +100,111 @@ func TestEmptySystemRoundTrip(t *testing.T) {
 	}
 	if s2.N() != 0 {
 		t.Errorf("N = %d", s2.N())
+	}
+}
+
+func TestRoundTripDT(t *testing.T) {
+	s := sample(20, 5)
+	var buf bytes.Buffer
+	if err := Write(&buf, Header{Time: 1, DT: 0.005}, s); err != nil {
+		t.Fatal(err)
+	}
+	h, _, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.DT != 0.005 {
+		t.Errorf("DT = %v, want 0.005", h.DT)
+	}
+}
+
+// TestLegacyV1Readable writes the version-1 layout by hand (no DT, no
+// CRC trailer) and checks the current reader still accepts it.
+func TestLegacyV1Readable(t *testing.T) {
+	s := sample(30, 6)
+	var buf bytes.Buffer
+	le := binary.LittleEndian
+	for _, v := range []any{uint32(Magic), uint32(1),
+		headerV1{N: int64(s.N()), Time: 3.5, Step: 9, Scale: 0.5, Eps: 0.01, Theta: 0.8}} {
+		if err := binary.Write(&buf, le, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, arr := range [][]vec.V3{s.Pos, s.Vel} {
+		for _, p := range arr {
+			if err := binary.Write(&buf, le, [3]float64{p.X, p.Y, p.Z}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := binary.Write(&buf, le, s.Mass); err != nil {
+		t.Fatal(err)
+	}
+	if err := binary.Write(&buf, le, s.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	h, s2, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("legacy v1 snapshot rejected: %v", err)
+	}
+	if h.Time != 3.5 || h.Step != 9 || h.Scale != 0.5 || h.Eps != 0.01 || h.Theta != 0.8 {
+		t.Errorf("header = %+v", h)
+	}
+	if h.DT != 0 {
+		t.Errorf("legacy DT = %v, want 0", h.DT)
+	}
+	for i := range s.Pos {
+		if s.Pos[i] != s2.Pos[i] || s.Vel[i] != s2.Vel[i] {
+			t.Fatalf("particle %d mismatch", i)
+		}
+	}
+}
+
+// TestCRCDetectsCorruption flips single bits across the payload of a
+// current-format snapshot; every mutant must be rejected.
+func TestCRCDetectsCorruption(t *testing.T) {
+	s := sample(25, 7)
+	var buf bytes.Buffer
+	if err := Write(&buf, Header{Time: 1, DT: 0.01}, s); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, off := range []int{9, 16, 60, 100, len(data) / 2, len(data) - 5, len(data) - 1} {
+		mutant := append([]byte(nil), data...)
+		mutant[off] ^= 0x10
+		if _, _, err := Read(bytes.NewReader(mutant)); err == nil {
+			t.Errorf("bit flip at byte %d accepted", off)
+		}
+	}
+}
+
+// TestWriteFileAtomic: overwriting an existing snapshot goes through a
+// temp file; after a successful write no temp remains and the contents
+// are the new ones.
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.g5")
+	if err := WriteFile(path, Header{Time: 1}, sample(10, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(path, Header{Time: 2}, sample(10, 9)); err != nil {
+		t.Fatal(err)
+	}
+	h, _, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Time != 2 {
+		t.Errorf("Time = %v, want the replacement's 2", h.Time)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Errorf("temp file left behind: %s", e.Name())
+		}
 	}
 }

@@ -106,6 +106,15 @@ type Simulation struct {
 	ob      *obs.Observer
 	time    float64
 	nsteps  int
+	aux     RunAux
+
+	// base* hold the whole-run counters restored from a checkpoint; a
+	// fresh process starts its live hardware counters at zero, so the
+	// public accessors report base + live to keep run totals continuous
+	// across restarts.
+	baseCounters g5.Counters
+	baseRecovery g5.Recovery
+	baseFaults   g5.FaultStats
 
 	// LastStats is the treecode statistics of the most recent force
 	// evaluation.
@@ -342,6 +351,10 @@ func (sim *Simulation) Run(n int) error {
 // Time returns the elapsed simulation time.
 func (sim *Simulation) Time() float64 { return sim.time }
 
+// Config returns the simulation's effective configuration (with resume
+// merging and defaulting applied) — the values a checkpoint records.
+func (sim *Simulation) Config() Config { return sim.cfg }
+
 // Steps returns the number of completed steps.
 func (sim *Simulation) Steps() int { return sim.nsteps }
 
@@ -357,15 +370,16 @@ func (sim *Simulation) Observer() *obs.Observer { return sim.ob }
 
 // HardwareCounters returns the emulated GRAPE-5 activity counters —
 // summed across shards for cluster runs — or a zero value for
-// host-engine simulations.
+// host-engine simulations. Totals are whole-run: a resumed simulation
+// reports the checkpointed base plus this process's activity.
 func (sim *Simulation) HardwareCounters() g5.Counters {
+	live := g5.Counters{}
 	if sim.cluster != nil {
-		return sim.cluster.Counters()
+		live = sim.cluster.Counters()
+	} else if sim.hw != nil {
+		live = sim.hw.Counters()
 	}
-	if sim.hw == nil {
-		return g5.Counters{}
-	}
-	return sim.hw.Counters()
+	return sim.baseCounters.Add(live)
 }
 
 // Hardware returns the emulated GRAPE-5 system, or nil for host-engine
@@ -378,27 +392,28 @@ func (sim *Simulation) Cluster() *g5.Cluster { return sim.cluster }
 
 // Recovery returns the guard's fault-handling counters — summed across
 // shards for cluster runs — or a zero value when the simulation does
-// not run a guarded offload path.
+// not run a guarded offload path. Totals are whole-run (checkpointed
+// base plus this process); HostOnly reflects this process's hardware.
 func (sim *Simulation) Recovery() g5.Recovery {
+	live := g5.Recovery{}
 	if sim.cluster != nil {
-		return sim.cluster.Recovery()
+		live = sim.cluster.Recovery()
+	} else if sim.guard != nil {
+		live = sim.guard.Recovery()
 	}
-	if sim.guard == nil {
-		return g5.Recovery{}
-	}
-	return sim.guard.Recovery()
+	return sim.baseRecovery.Add(live)
 }
 
 // FaultStats returns the injected-fault activity counters, or a zero
-// value without fault injection.
+// value without fault injection. Totals are whole-run across restarts.
 func (sim *Simulation) FaultStats() g5.FaultStats {
+	live := g5.FaultStats{}
 	if sim.cluster != nil {
-		return sim.cluster.FaultStats()
+		live = sim.cluster.FaultStats()
+	} else if sim.hw != nil {
+		live = sim.hw.FaultStats()
 	}
-	if sim.hw == nil {
-		return g5.FaultStats{}
-	}
-	return sim.hw.FaultStats()
+	return sim.baseFaults.Add(live)
 }
 
 // Close releases engine resources (the cluster's shard workers). It is

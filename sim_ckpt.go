@@ -1,0 +1,262 @@
+package grape5
+
+// Checkpoint/restart wiring: Simulation.Checkpoint persists the
+// complete run state through a rotating ckpt.Store, and
+// ResumeSimulation reconstructs a Simulation from a loaded checkpoint
+// so that the resumed trajectory is bitwise identical to the
+// uninterrupted run's.
+//
+// Why bitwise resume works: a checkpoint taken after step k stores the
+// particle system in its exact in-memory (tree) order together with the
+// post-force accelerations and potentials, and marks the integrator
+// primed. The resumed leapfrog therefore consumes those accelerations
+// in its next half-kick exactly as the uninterrupted run would — no
+// re-priming force call, no reordering. The Morton radix sort is
+// stable, so subsequent force evaluations visit particles in the same
+// order; simulation time is restored as the exact float64, so the time
+// accumulation sequence is identical. The one excluded piece is the
+// hardware fault injector's RNG stream, which is per-process: the
+// bitwise guarantee applies to fault-free configurations (and to any
+// run whose injected faults are fully corrected by the guard).
+
+import (
+	"fmt"
+
+	"repro/internal/ckpt"
+	"repro/internal/g5"
+	"repro/internal/obs"
+)
+
+// RunAux carries driver-level run state that the Simulation itself does
+// not consume but a resumable checkpoint must preserve: the cosmology
+// anchors of the EdS schedule and the IC seed. All zero for plain
+// model-unit runs.
+type RunAux struct {
+	// Scale is the base cosmological scale factor at the run's start.
+	Scale float64
+	// T0 and Age0 anchor the EdS time-to-scale-factor mapping.
+	T0, Age0 float64
+	// Seed is the initial-conditions generator seed (provenance).
+	Seed uint64
+}
+
+// SetAux records driver-level run state to be carried in checkpoints.
+func (sim *Simulation) SetAux(aux RunAux) { sim.aux = aux }
+
+// Aux returns the driver-level run state (restored on resume).
+func (sim *Simulation) Aux() RunAux { return sim.aux }
+
+// Primed reports whether the integrator holds valid post-force
+// accelerations (after Prime, a Step, or a primed resume).
+func (sim *Simulation) Primed() bool { return sim.lf.Primed() }
+
+// CheckpointState assembles the scalar checkpoint state: step and time,
+// the config fingerprint, the aux anchors and the whole-run cumulative
+// counters (base + live, via the merged accessors).
+func (sim *Simulation) CheckpointState() ckpt.State {
+	rec := sim.Recovery()
+	hw := sim.HardwareCounters()
+	fs := sim.FaultStats()
+	return ckpt.State{
+		Step:  int64(sim.nsteps),
+		Time:  sim.time,
+		DT:    sim.cfg.DT,
+		Scale: sim.aux.Scale,
+		T0:    sim.aux.T0,
+		Age0:  sim.aux.Age0,
+
+		Theta:        sim.cfg.Theta,
+		Eps:          sim.cfg.Eps,
+		G:            sim.cfg.G,
+		Ncrit:        int64(sim.cfg.Ncrit),
+		LeafCap:      int64(sim.cfg.LeafCap),
+		RebuildEvery: int64(sim.cfg.RebuildEvery),
+		PMGrid:       int64(sim.cfg.PMGrid),
+		Engine:       int64(sim.cfg.Engine),
+		Shards:       int64(sim.cfg.Shards),
+		Seed:         sim.aux.Seed,
+
+		TotalInteractions: sim.TotalInteractions,
+
+		RecChecks:   rec.Checks,
+		RecRetries:  rec.Retries,
+		RecCorrupt:  rec.CorruptResults,
+		RecExcluded: rec.ExcludedBoards,
+		RecFallback: rec.FallbackBatches,
+		RecHostOnly: rec.HostOnly,
+
+		HWInteractions: hw.Interactions,
+		HWPipeSeconds:  hw.PipeSeconds,
+		HWBusSeconds:   hw.BusSeconds,
+		HWBytes:        hw.BytesTransferred,
+		HWRuns:         hw.Runs,
+		HWJPasses:      hw.JPasses,
+		HWClamps:       hw.RangeClamps,
+
+		FaultBitFlips:   fs.JMemBitFlips,
+		FaultStuckCalls: fs.StuckPipeCalls,
+		FaultBusErrors:  fs.BusErrors,
+		FaultTransients: fs.Transients,
+
+		Primed: sim.lf.Primed(),
+	}
+}
+
+// Checkpoint durably saves the complete run state into the store (atomic
+// write + rotation + manifest). The cost is recorded on the checkpoint
+// phase and counters and folded into LastReport, so the completed step's
+// telemetry shows what the durability cost.
+func (sim *Simulation) Checkpoint(store *ckpt.Store) (ckpt.SaveInfo, error) {
+	if store == nil {
+		return ckpt.SaveInfo{}, fmt.Errorf("grape5: nil checkpoint store")
+	}
+	t := sim.ob.Start(obs.PhaseCheckpoint)
+	info, err := store.Save(&ckpt.Checkpoint{State: sim.CheckpointState(), Sys: sim.Sys})
+	t.Stop()
+	if err != nil {
+		return ckpt.SaveInfo{}, fmt.Errorf("grape5: checkpoint at step %d: %w", sim.nsteps, err)
+	}
+	sim.ob.Add(obs.CntCkptBytes, info.Bytes)
+	sim.ob.Add(obs.CntCkptWrites, 1)
+	sim.LastReport.Phases.Checkpoint += sim.ob.Seconds(obs.PhaseCheckpoint)
+	sim.LastReport.CkptBytes += info.Bytes
+	sim.LastReport.CkptWrites++
+	return info, nil
+}
+
+// mergeFloat and mergeInt implement the fingerprint merge: zero means
+// unset, the other side's value is inherited; two different non-zero
+// values are a conflict the caller must surface loudly.
+func mergeFloat(name string, saved, given float64) (float64, error) {
+	switch {
+	case given == 0:
+		return saved, nil
+	case saved == 0 || saved == given:
+		return given, nil
+	}
+	return 0, fmt.Errorf("grape5: resume %s mismatch: checkpoint has %v, caller gave %v", name, saved, given)
+}
+
+func mergeInt(name string, saved, given int64) (int64, error) {
+	switch {
+	case given == 0:
+		return saved, nil
+	case saved == 0 || saved == given:
+		return given, nil
+	}
+	return 0, fmt.Errorf("grape5: resume %s mismatch: checkpoint has %d, caller gave %d", name, saved, given)
+}
+
+// ResumeConfig merges a checkpoint's config fingerprint with the
+// caller's overrides. Zero-valued caller fields inherit the checkpoint;
+// a non-zero caller value conflicting with a non-zero checkpoint value
+// is a loud error, never a silent preference. Engine follows the same
+// rule (EngineHost is the zero value, so an explicit host-engine
+// override of a GRAPE checkpoint must be resolved by the caller before
+// resuming; the checkpoint's -1 means unknown and defers to the
+// caller). Shards is exempt from conflict checking: the sharded cluster
+// is bitwise-neutral, so a resume may change K freely — an explicit
+// value wins, unset inherits.
+func ResumeConfig(st ckpt.State, cfg Config) (Config, error) {
+	out := cfg
+	var err error
+	if out.Theta, err = mergeFloat("theta", st.Theta, cfg.Theta); err != nil {
+		return Config{}, err
+	}
+	if out.Eps, err = mergeFloat("eps", st.Eps, cfg.Eps); err != nil {
+		return Config{}, err
+	}
+	if out.G, err = mergeFloat("G", st.G, cfg.G); err != nil {
+		return Config{}, err
+	}
+	if out.DT, err = mergeFloat("dt", st.DT, cfg.DT); err != nil {
+		return Config{}, err
+	}
+	var v int64
+	if v, err = mergeInt("ncrit", st.Ncrit, int64(cfg.Ncrit)); err != nil {
+		return Config{}, err
+	}
+	out.Ncrit = int(v)
+	if v, err = mergeInt("leafcap", st.LeafCap, int64(cfg.LeafCap)); err != nil {
+		return Config{}, err
+	}
+	out.LeafCap = int(v)
+	if v, err = mergeInt("rebuild-every", st.RebuildEvery, int64(cfg.RebuildEvery)); err != nil {
+		return Config{}, err
+	}
+	out.RebuildEvery = int(v)
+	if v, err = mergeInt("pm-grid", st.PMGrid, int64(cfg.PMGrid)); err != nil {
+		return Config{}, err
+	}
+	out.PMGrid = int(v)
+	if st.Engine >= 0 {
+		// The checkpoint's engine is known (0 = host is a real value here,
+		// unlike the zero-means-unset fields above; -1 means unknown). A
+		// non-host caller value that disagrees is a conflict; the
+		// zero-valued EngineHost inherits, since it is indistinguishable
+		// from unset — an explicit engine downgrade must be resolved by
+		// the driver before resuming.
+		if cfg.Engine != EngineHost && int64(cfg.Engine) != st.Engine {
+			return Config{}, fmt.Errorf("grape5: resume engine mismatch: checkpoint ran engine %d, caller gave %d", st.Engine, cfg.Engine)
+		}
+		out.Engine = EngineKind(st.Engine)
+	}
+	if cfg.Shards == 0 {
+		out.Shards = int(st.Shards)
+	}
+	if out.DT <= 0 {
+		return Config{}, fmt.Errorf("grape5: resume has no timestep: checkpoint lacks DT (legacy snapshot?) and none was given")
+	}
+	return out, nil
+}
+
+// ResumeSimulation reconstructs a Simulation from a loaded checkpoint.
+// The checkpoint's system is adopted in place (exact tree order, exact
+// accelerations); cfg supplies overrides under the ResumeConfig merge
+// rules. When the checkpoint is primed, the integrator resumes without
+// a re-priming force call — the next Step is bitwise the same as the
+// uninterrupted run's. Whole-run counters (recovery, hardware, faults,
+// total interactions) continue from the checkpointed totals.
+func ResumeSimulation(c *ckpt.Checkpoint, cfg Config) (*Simulation, error) {
+	if c == nil || c.Sys == nil {
+		return nil, fmt.Errorf("grape5: nil checkpoint")
+	}
+	st := c.State
+	merged, err := ResumeConfig(st, cfg)
+	if err != nil {
+		return nil, err
+	}
+	sim, err := NewSimulation(c.Sys, merged)
+	if err != nil {
+		return nil, fmt.Errorf("grape5: resuming at step %d: %w", st.Step, err)
+	}
+	sim.time = st.Time
+	sim.nsteps = int(st.Step)
+	sim.TotalInteractions = st.TotalInteractions
+	sim.aux = RunAux{Scale: st.Scale, T0: st.T0, Age0: st.Age0, Seed: st.Seed}
+	sim.baseRecovery = g5.Recovery{
+		Checks:          st.RecChecks,
+		Retries:         st.RecRetries,
+		CorruptResults:  st.RecCorrupt,
+		ExcludedBoards:  st.RecExcluded,
+		FallbackBatches: st.RecFallback,
+		HostOnly:        st.RecHostOnly,
+	}
+	sim.baseCounters = g5.Counters{
+		Interactions:     st.HWInteractions,
+		PipeSeconds:      st.HWPipeSeconds,
+		BusSeconds:       st.HWBusSeconds,
+		BytesTransferred: st.HWBytes,
+		Runs:             st.HWRuns,
+		JPasses:          st.HWJPasses,
+		RangeClamps:      st.HWClamps,
+	}
+	sim.baseFaults = g5.FaultStats{
+		JMemBitFlips:   st.FaultBitFlips,
+		StuckPipeCalls: st.FaultStuckCalls,
+		BusErrors:      st.FaultBusErrors,
+		Transients:     st.FaultTransients,
+	}
+	sim.lf.SetPrimed(st.Primed)
+	return sim, nil
+}
