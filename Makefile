@@ -3,7 +3,7 @@
 GO  ?= go
 BIN := bin
 
-.PHONY: all build test race lint bench-smoke bench-alloc ckpt-e2e clean
+.PHONY: all build test race lint bench-smoke bench-alloc bench-host ckpt-e2e clean
 
 all: build test lint
 
@@ -42,6 +42,21 @@ bench-alloc:
 	GOMAXPROCS=4 $(GO) test -count=1 -run 'TestStepAllocs|TestBuildSteadyStateAllocs' . ./internal/octree
 	GOMAXPROCS=1 $(GO) test -count=1 -run 'TestBuildParallelMatchesSerial|TestBuilderReuseMatchesFresh' ./internal/octree
 	GOMAXPROCS=4 $(GO) test -count=1 -run 'TestBuildParallelMatchesSerial|TestBuilderReuseMatchesFresh' ./internal/octree
+
+# bench-host gates the batched SoA host kernels (DESIGN.md §13): the
+# scalar-vs-soa sub-benchmarks are sampled 10x and compared with
+# Welch's t-test by cmd/benchdiff — fail on a statistically significant
+# soa regression, and require the batched MAC to hold its >=1.3x win.
+# benchdiff is built BEFORE the benchmark runs and the samples staged
+# through a file: piping into `go run` would compile the tool
+# concurrently with the benchmark and perturb the early samples on
+# small machines.
+bench-host: $(BIN)/benchdiff
+	$(GO) test -run '^$$' -bench 'MACBatch|HostP2P|GuardCheck' -count=10 ./internal/hostk > $(BIN)/bench-host.txt
+	$(BIN)/benchdiff -require MACBatch -factor 1.3 < $(BIN)/bench-host.txt
+
+$(BIN)/benchdiff: $(wildcard cmd/benchdiff/*.go)
+	$(GO) build -o $@ ./cmd/benchdiff
 
 # ckpt-e2e gates the crash-safe checkpoint/restart layer (DESIGN.md
 # §12): kill/resume bitwise-identity, torn-checkpoint fallback, graceful

@@ -133,19 +133,17 @@ func BenchmarkG5Kernel(b *testing.B) {
 func kernelRequest(ni, nj int) *core.Request {
 	r := rng.New(9)
 	req := &core.Request{
-		IPos:  make([]vec.V3, ni),
-		JPos:  make([]vec.V3, nj),
-		JMass: make([]float64, nj),
-		Acc:   make([]vec.V3, ni),
-		Pot:   make([]float64, ni),
+		IPos: make([]vec.V3, ni),
+		Acc:  make([]vec.V3, ni),
+		Pot:  make([]float64, ni),
 	}
 	for i := range req.IPos {
 		req.IPos[i] = vec.V3{X: r.Uniform(-50, 50), Y: r.Uniform(-50, 50), Z: r.Uniform(-50, 50)}
 	}
-	for j := range req.JPos {
-		req.JPos[j] = vec.V3{X: r.Uniform(-50, 50), Y: r.Uniform(-50, 50), Z: r.Uniform(-50, 50)}
-		req.JMass[j] = 1
+	for j := 0; j < nj; j++ {
+		req.J.Append(r.Uniform(-50, 50), r.Uniform(-50, 50), r.Uniform(-50, 50), 1)
 	}
+	req.J.Pad()
 	return req
 }
 

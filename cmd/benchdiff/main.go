@@ -1,0 +1,216 @@
+// Command benchdiff is the repository's benchstat: it reads `go test
+// -bench` output (stdin or a file), pairs each benchmark's old/new
+// variant sub-benchmarks (BenchmarkX/scalar vs BenchmarkX/soa by
+// default), and compares the timing samples with Welch's t-test.
+//
+// Exit status 1 means the gate failed: either a new variant is
+// statistically significantly slower than its old counterpart, or a
+// -require pattern was given and no matching pair reached the -factor
+// speedup. Run benchmarks with -count=10 or so; a single sample per
+// variant gives the t-test nothing to work with and is rejected.
+//
+//	go test -run '^$' -bench 'MACBatch|HostP2P' -count=10 ./internal/hostk \
+//	    | go run ./cmd/benchdiff -require MACBatch -factor 1.3
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	var (
+		oldName = flag.String("old", "scalar", "sub-benchmark name of the baseline variant")
+		newName = flag.String("new", "soa", "sub-benchmark name of the candidate variant")
+		alpha   = flag.Float64("alpha", 0.05, "two-sided significance level for the regression verdict")
+		factor  = flag.Float64("factor", 0, "with -require: minimum speedup (old/new) at least one matching pair must reach")
+		require = flag.String("require", "", "regexp of benchmark names; at least one match must reach -factor speedup")
+		slack   = flag.Float64("slack", 0.03, "relative slowdown ignored even when statistically significant (timer noise floor)")
+	)
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	samples, err := parse(in, *oldName, *newName)
+	if err != nil {
+		fatal(err)
+	}
+	pairs := pairUp(samples, *oldName, *newName)
+	if len(pairs) == 0 {
+		fatal(fmt.Errorf("no %s/%s benchmark pairs found in input", *oldName, *newName))
+	}
+
+	var reqRe *regexp.Regexp
+	if *require != "" {
+		reqRe, err = regexp.Compile(*require)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	fail := false
+	reqMet := reqRe == nil
+	fmt.Printf("%-28s %14s %14s %9s  %s\n", "benchmark", *oldName+" ns/op", *newName+" ns/op", "speedup", "verdict")
+	for _, p := range pairs {
+		om, os_ := meanStddev(p.old)
+		nm, ns := meanStddev(p.new)
+		speedup := om / nm
+		sig := welchSignificant(p.old, p.new, *alpha)
+		verdict := "~same"
+		switch {
+		case sig && nm > om*(1+*slack):
+			verdict = "SLOWER (significant)"
+			fail = true
+		case sig && nm < om:
+			verdict = "faster"
+		}
+		if reqRe != nil && reqRe.MatchString(p.name) && speedup >= *factor && (!sig || nm < om) {
+			reqMet = true
+		}
+		fmt.Printf("%-28s %8.0f ±%4.0f %8.0f ±%4.0f %8.2fx  %s\n", p.name, om, os_, nm, ns, speedup, verdict)
+	}
+	if !reqMet {
+		fmt.Fprintf(os.Stderr, "benchdiff: no benchmark matching %q reached the required %.2fx speedup\n", *require, *factor)
+		fail = true
+	}
+	if fail {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(2)
+}
+
+// benchLine matches one result line of `go test -bench` output:
+//
+//	BenchmarkMACBatch/scalar-4   9278   129609 ns/op   ...
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// parse collects ns/op samples per full benchmark name, keeping only
+// benchmarks whose terminal path element is one of the two variants.
+func parse(r io.Reader, oldName, newName string) (map[string][]float64, error) {
+	samples := map[string][]float64{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		name := strings.TrimPrefix(m[1], "Benchmark")
+		base, variant, ok := splitVariant(name)
+		if !ok || (variant != oldName && variant != newName) {
+			continue
+		}
+		v, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad ns/op %q: %v", m[2], err)
+		}
+		samples[base+"/"+variant] = append(samples[base+"/"+variant], v)
+	}
+	return samples, sc.Err()
+}
+
+func splitVariant(name string) (base, variant string, ok bool) {
+	i := strings.LastIndex(name, "/")
+	if i < 0 {
+		return "", "", false
+	}
+	return name[:i], name[i+1:], true
+}
+
+type pair struct {
+	name     string
+	old, new []float64
+}
+
+// pairUp joins variants into comparable pairs, sorted by name, and
+// rejects single-sample runs (no variance, no test).
+func pairUp(samples map[string][]float64, oldName, newName string) []pair {
+	var pairs []pair
+	for key, old := range samples {
+		base, variant, _ := splitVariant(key)
+		if variant != oldName {
+			continue
+		}
+		neu, ok := samples[base+"/"+newName]
+		if !ok {
+			continue
+		}
+		if len(old) < 2 || len(neu) < 2 {
+			fatal(fmt.Errorf("%s: need >=2 samples per variant (run with -count=10), got %d/%d", base, len(old), len(neu)))
+		}
+		pairs = append(pairs, pair{name: base, old: old, new: neu})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].name < pairs[j].name })
+	return pairs
+}
+
+func meanStddev(xs []float64) (mean, stddev float64) {
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	if len(xs) < 2 {
+		return mean, 0
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	return mean, math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// welchSignificant runs Welch's unequal-variance t-test and reports
+// whether the means differ at the given two-sided level.
+func welchSignificant(a, b []float64, alpha float64) bool {
+	ma, sa := meanStddev(a)
+	mb, sb := meanStddev(b)
+	va := sa * sa / float64(len(a))
+	vb := sb * sb / float64(len(b))
+	if va+vb == 0 {
+		return ma != mb // zero variance: any difference is exact
+	}
+	t := math.Abs(ma-mb) / math.Sqrt(va+vb)
+	// Welch–Satterthwaite degrees of freedom.
+	df := (va + vb) * (va + vb) /
+		(va*va/float64(len(a)-1) + vb*vb/float64(len(b)-1))
+	return t > tCritical(df, alpha)
+}
+
+// tCritical returns the two-sided critical value of Student's t. Only
+// alpha=0.05 is tabulated; other levels fall back to the normal
+// quantile, which is what the t distribution converges to anyway.
+func tCritical(df, alpha float64) float64 {
+	if alpha != 0.05 {
+		return 1.96 * 0.05 / alpha // crude, monotone in alpha
+	}
+	table := []struct{ df, t float64 }{
+		{1, 12.706}, {2, 4.303}, {3, 3.182}, {4, 2.776}, {5, 2.571},
+		{6, 2.447}, {7, 2.365}, {8, 2.306}, {9, 2.262}, {10, 2.228},
+		{12, 2.179}, {15, 2.131}, {20, 2.086}, {30, 2.042}, {60, 2.000},
+	}
+	for _, e := range table {
+		if df <= e.df {
+			return e.t
+		}
+	}
+	return 1.96
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro/internal/hostk
+cpu: Intel(R) Xeon(R) CPU @ 2.10GHz
+BenchmarkMACBatch/scalar-1         	    9278	    129609 ns/op
+BenchmarkMACBatch/scalar-1         	    9101	    131002 ns/op
+BenchmarkMACBatch/soa-1            	   35172	     34122 ns/op
+BenchmarkMACBatch/soa-1            	   34890	     34310 ns/op
+BenchmarkHostP2P/scalar-1          	    1064	   1120843 ns/op	 913.60 MB/s
+BenchmarkHostP2P/scalar-1          	    1070	   1118221 ns/op	 915.74 MB/s
+BenchmarkHostP2P/soa-1             	    1066	   1121374 ns/op	 913.17 MB/s
+BenchmarkHostP2P/soa-1             	    1061	   1126014 ns/op	 909.41 MB/s
+BenchmarkUnpaired/scalar-1         	    1000	      1000 ns/op
+PASS
+`
+
+func TestParseAndPair(t *testing.T) {
+	samples, err := parse(strings.NewReader(sampleOutput), "scalar", "soa")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(samples["MACBatch/scalar"]); got != 2 {
+		t.Errorf("MACBatch/scalar samples = %d, want 2", got)
+	}
+	if got := samples["MACBatch/soa"][0]; got != 34122 {
+		t.Errorf("first soa sample = %v, want 34122", got)
+	}
+	pairs := pairUp(samples, "scalar", "soa")
+	if len(pairs) != 2 {
+		t.Fatalf("pairs = %d, want 2 (unpaired benchmark must drop)", len(pairs))
+	}
+	if pairs[0].name != "HostP2P" || pairs[1].name != "MACBatch" {
+		t.Errorf("pair order = %s, %s (want name-sorted)", pairs[0].name, pairs[1].name)
+	}
+}
+
+func TestMeanStddev(t *testing.T) {
+	m, s := meanStddev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if m != 5 {
+		t.Errorf("mean = %v, want 5", m)
+	}
+	if math.Abs(s-2.138) > 0.01 {
+		t.Errorf("stddev = %v, want ~2.138", s)
+	}
+}
+
+func TestWelchDetectsRealDifference(t *testing.T) {
+	fast := []float64{100, 101, 99, 100, 102, 98, 100, 101, 99, 100}
+	slow := []float64{130, 131, 129, 130, 132, 128, 130, 131, 129, 130}
+	if !welchSignificant(fast, slow, 0.05) {
+		t.Error("30% separation with tight variance not flagged significant")
+	}
+}
+
+func TestWelchIgnoresNoise(t *testing.T) {
+	a := []float64{100, 110, 90, 105, 95, 108, 92, 103, 97, 100}
+	b := []float64{101, 109, 91, 106, 94, 107, 93, 104, 96, 99}
+	if welchSignificant(a, b, 0.05) {
+		t.Error("overlapping noisy samples flagged significant")
+	}
+}
+
+func TestVariantSplit(t *testing.T) {
+	base, variant, ok := splitVariant("GuardCheck/soa")
+	if !ok || base != "GuardCheck" || variant != "soa" {
+		t.Errorf("splitVariant = %q %q %v", base, variant, ok)
+	}
+	if _, _, ok := splitVariant("NoVariant"); ok {
+		t.Error("name without variant must not split")
+	}
+}

@@ -17,22 +17,25 @@
 package core
 
 import (
-	"math"
 	"sync/atomic"
 
+	"repro/internal/hostk"
 	"repro/internal/vec"
 )
 
 // Request is one batch of pairwise force work handed to an Engine: the
-// accelerations and potentials exerted by the sources (JPos, JMass) on
-// the field points IPos are accumulated into Acc and Pot.
+// accelerations and potentials exerted by the sources in J on the field
+// points IPos are accumulated into Acc and Pot.
 type Request struct {
 	// IPos holds the field points ("i-particles").
 	IPos []vec.V3
-	// JPos and JMass hold the sources ("j-particles"): real particles
-	// and accepted cells' centres of mass alike.
-	JPos  []vec.V3
-	JMass []float64
+	// J holds the sources ("j-particles") in the struct-of-arrays
+	// layout the host kernels consume: real particles and accepted
+	// cells' centres of mass alike, J.N real entries plus zero-mass
+	// padding to a hostk.JTile multiple (the walk pads; hand-built
+	// requests need not). Hardware engines marshal J into their AoS
+	// DMA descriptors from the first J.N lanes.
+	J hostk.JList
 	// Acc and Pot receive the accumulated acceleration and specific
 	// potential per field point. Both must have len(IPos); engines add
 	// into them.
@@ -72,29 +75,15 @@ type HostEngine struct {
 	Eps float64
 }
 
-// Accumulate implements Engine by direct double-precision summation.
+// Accumulate implements Engine through the batched SoA tile kernel —
+// bitwise identical to the retired scalar loop (hostk.ScalarAccumulate,
+// pinned by the hostk conformance and fuzz suites and the pre-SoA
+// trajectory goldens).
 func (e *HostEngine) Accumulate(req *Request) {
 	eps2 := e.Eps * e.Eps
 	g := e.G
 	for i, pi := range req.IPos {
-		var ax, ay, az, pot float64
-		for j, pj := range req.JPos {
-			dx := pj.X - pi.X
-			dy := pj.Y - pi.Y
-			dz := pj.Z - pi.Z
-			r2 := dx*dx + dy*dy + dz*dz
-			if r2 == 0 {
-				continue // self-interaction guard
-			}
-			r2 += eps2
-			inv := 1 / math.Sqrt(r2)
-			inv3 := inv / r2
-			m := req.JMass[j]
-			ax += m * inv3 * dx
-			ay += m * inv3 * dy
-			az += m * inv3 * dz
-			pot -= m * inv
-		}
+		ax, ay, az, pot := hostk.P2P(pi.X, pi.Y, pi.Z, &req.J, eps2)
 		req.Acc[i] = req.Acc[i].Add(vec.V3{X: g * ax, Y: g * ay, Z: g * az})
 		req.Pot[i] += g * pot
 	}
@@ -108,9 +97,10 @@ type CountEngine struct {
 	interactions atomic.Int64
 }
 
-// Accumulate implements Engine by counting.
+// Accumulate implements Engine by counting. Padding lanes are not
+// interactions: only the J.N real sources count.
 func (e *CountEngine) Accumulate(req *Request) {
-	e.interactions.Add(int64(len(req.IPos)) * int64(len(req.JPos)))
+	e.interactions.Add(int64(len(req.IPos)) * int64(req.J.N))
 }
 
 // Interactions returns the running total of i×j pairs requested.

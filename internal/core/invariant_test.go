@@ -25,7 +25,7 @@ type massAuditEngine struct {
 
 func (e *massAuditEngine) Accumulate(req *Request) {
 	var m float64
-	for _, mj := range req.JMass {
+	for _, mj := range req.J.M[:req.J.N] {
 		m += mj
 	}
 	if math.Abs(m-e.total) > e.tol {
@@ -100,7 +100,7 @@ type perParticleAudit struct {
 func (e *perParticleAudit) Accumulate(req *Request) {
 	e.calls++
 	var m float64
-	for _, mj := range req.JMass {
+	for _, mj := range req.J.M[:req.J.N] {
 		m += mj
 	}
 	if math.Abs(m-e.want) > e.tol*(1+e.want) {

@@ -62,7 +62,7 @@ func (tc *Treecode) ComputeForcesOriginalOnEngine(s *nbody.System) (*Stats, erro
 				tc.buildParticleList(tree, i, mac, buf)
 				local.WalkTime += time.Since(tw0)
 
-				nj := len(buf.jpos)
+				nj := buf.J.N
 				local.Interactions += int64(nj)
 				local.ListSum += int64(nj)
 				if nj > local.MaxList {
@@ -74,11 +74,10 @@ func (tc *Treecode) ComputeForcesOriginalOnEngine(s *nbody.System) (*Stats, erro
 
 				tc0 := time.Now()
 				req := Request{
-					IPos:  s.Pos[i : i+1],
-					JPos:  buf.jpos,
-					JMass: buf.jmass,
-					Acc:   s.Acc[i : i+1],
-					Pot:   s.Pot[i : i+1],
+					IPos: s.Pos[i : i+1],
+					J:    buf.J,
+					Acc:  s.Acc[i : i+1],
+					Pot:  s.Pot[i : i+1],
 				}
 				tc.Engine.Accumulate(&req)
 				local.ComputeTime += time.Since(tc0)
@@ -111,8 +110,7 @@ func (tc *Treecode) ComputeForcesOriginalOnEngine(s *nbody.System) (*Stats, erro
 // list length equal to the walk-based interaction count).
 func (tc *Treecode) buildParticleList(tree *octree.Tree, i int, mac octree.OpenCriterion, buf *listBuf) {
 	buf.stack = buf.stack[:0]
-	buf.jpos = buf.jpos[:0]
-	buf.jmass = buf.jmass[:0]
+	buf.J.Reset()
 	s := tree.Sys
 	pi := s.Pos[i]
 	buf.stack = append(buf.stack, 0)
@@ -121,9 +119,9 @@ func (tc *Treecode) buildParticleList(tree *octree.Tree, i int, mac octree.OpenC
 		buf.stack = buf.stack[:len(buf.stack)-1]
 		n := &tree.Nodes[idx]
 		d2 := pi.Dist2(n.COM)
+		//lint:ignore hostk per-particle reference walk of the §3 counterfactual; point-distance MAC has no batch sink
 		if mac.Accept(n, d2) {
-			buf.jpos = append(buf.jpos, n.COM)
-			buf.jmass = append(buf.jmass, n.Mass)
+			buf.J.Append(n.COM.X, n.COM.Y, n.COM.Z, n.Mass)
 			continue
 		}
 		if n.Leaf {
@@ -131,8 +129,8 @@ func (tc *Treecode) buildParticleList(tree *octree.Tree, i int, mac octree.OpenC
 				if int(j) == i {
 					continue
 				}
-				buf.jpos = append(buf.jpos, s.Pos[j])
-				buf.jmass = append(buf.jmass, s.Mass[j])
+				p := s.Pos[j]
+				buf.J.Append(p.X, p.Y, p.Z, s.Mass[j])
 			}
 			continue
 		}
@@ -142,4 +140,5 @@ func (tc *Treecode) buildParticleList(tree *octree.Tree, i int, mac octree.OpenC
 			}
 		}
 	}
+	buf.J.Pad()
 }

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/hostk"
 	"repro/internal/nbody"
 	"repro/internal/obs"
 	"repro/internal/octree"
@@ -165,11 +166,24 @@ func New(opt Options, engine Engine) *Treecode {
 	return &Treecode{Opt: o, Engine: engine}
 }
 
-// listBuf is per-worker traversal scratch space.
+// listBuf is per-worker traversal scratch space: the walk stack (node
+// index plus the accept verdict computed at push time), the SoA j-list
+// under construction, and the fixed-width MAC gather lanes. All of it
+// is owner-allocated and reused across groups and steps (the alloc
+// gate pins zero steady-state growth).
 type listBuf struct {
 	stack []int32
-	jpos  []vec.V3
-	jmass []float64
+	// flags parallels stack: the MAC verdict for each pushed node,
+	// batch-evaluated over its siblings at expansion time.
+	flags []bool
+	// J is the group's interaction list in kernel layout.
+	J hostk.JList
+	// macX..macOK are the MACWidth gather lanes for one batched accept
+	// call (one octree fan-out). Stale upper lanes are evaluated and
+	// discarded.
+	macX, macY, macZ, macS [hostk.MACWidth]float64
+	macIdx                 [hostk.MACWidth]int32
+	macOK                  [hostk.MACWidth]bool
 }
 
 // ComputeForces runs the modified (grouped) tree algorithm: builds the
@@ -280,7 +294,7 @@ func (tc *Treecode) walkWorker(buf *listBuf, s *nbody.System, tree *octree.Tree,
 		visited, cells := tc.buildGroupList(tree, g, mac, buf)
 		local.WalkTime += time.Since(tw0)
 
-		nj := len(buf.jpos)
+		nj := buf.J.N
 		ni := int(g.Count)
 		local.Interactions += int64(ni) * int64(nj)
 		local.ListSum += int64(nj)
@@ -296,11 +310,10 @@ func (tc *Treecode) walkWorker(buf *listBuf, s *nbody.System, tree *octree.Tree,
 
 		tc0 := time.Now()
 		req := Request{
-			IPos:  s.Pos[g.Start : g.Start+g.Count],
-			JPos:  buf.jpos,
-			JMass: buf.jmass,
-			Acc:   s.Acc[g.Start : g.Start+g.Count],
-			Pot:   s.Pot[g.Start : g.Start+g.Count],
+			IPos: s.Pos[g.Start : g.Start+g.Count],
+			J:    buf.J,
+			Acc:  s.Acc[g.Start : g.Start+g.Count],
+			Pot:  s.Pot[g.Start : g.Start+g.Count],
 		}
 		tc.Engine.Accumulate(&req)
 		local.ComputeTime += time.Since(tc0)
@@ -324,45 +337,76 @@ func (tc *Treecode) walkWorker(buf *listBuf, s *nbody.System, tree *octree.Tree,
 	tc.statsMu.Unlock()
 }
 
-// buildGroupList fills buf with the shared interaction list of group g:
-// centres of mass of accepted cells plus particles of opened leaves.
+// buildGroupList fills buf.J with the shared interaction list of group
+// g: centres of mass of accepted cells plus particles of opened leaves.
 // The group's own cell is never accepted (its surface distance to its
 // own contents is zero), so group members enter the list as direct
 // particles — exactly Barnes' formulation. Returns nodes visited and
 // the number of cell (centre-of-mass) entries appended.
+//
+// The MAC is evaluated in batches: when a node is expanded, all its
+// present children are gathered into the buf.mac* lanes and judged by
+// one hostk.MACSink.Accept call; each child is pushed with its verdict.
+// Children are pushed in octant order and popped LIFO — the identical
+// visit order, and therefore the identical j-list emission order, as
+// the retired per-node walk, which the pre-SoA trajectory goldens pin.
 func (tc *Treecode) buildGroupList(tree *octree.Tree, g octree.Group, mac octree.OpenCriterion, buf *listBuf) (int64, int) {
 	buf.stack = buf.stack[:0]
-	buf.jpos = buf.jpos[:0]
-	buf.jmass = buf.jmass[:0]
+	buf.flags = buf.flags[:0]
+	buf.J.Reset()
 	gbox := tree.Nodes[g.Node].Box
+	sink := hostk.MACSink{
+		MinX: gbox.Min.X, MinY: gbox.Min.Y, MinZ: gbox.Min.Z,
+		MaxX: gbox.Max.X, MaxY: gbox.Max.Y, MaxZ: gbox.Max.Z,
+		Theta2: mac.Theta * mac.Theta,
+	}
+	// The root has no siblings: its verdict is a batch of one.
+	root := &tree.Nodes[0]
+	buf.macX[0], buf.macY[0], buf.macZ[0] = root.COM.X, root.COM.Y, root.COM.Z
+	buf.macS[0] = root.EffSize(mac.UseBmax)
+	sink.Accept(&buf.macX, &buf.macY, &buf.macZ, &buf.macS, &buf.macOK)
 	buf.stack = append(buf.stack, 0)
+	buf.flags = append(buf.flags, buf.macOK[0])
 	var visited int64
 	cells := 0
 	for len(buf.stack) > 0 {
-		idx := buf.stack[len(buf.stack)-1]
-		buf.stack = buf.stack[:len(buf.stack)-1]
+		top := len(buf.stack) - 1
+		idx := buf.stack[top]
+		accept := buf.flags[top]
+		buf.stack = buf.stack[:top]
+		buf.flags = buf.flags[:top]
 		n := &tree.Nodes[idx]
 		visited++
-		d2 := gbox.Dist2(n.COM)
-		if mac.Accept(n, d2) {
-			buf.jpos = append(buf.jpos, n.COM)
-			buf.jmass = append(buf.jmass, n.Mass)
+		if accept {
+			buf.J.Append(n.COM.X, n.COM.Y, n.COM.Z, n.Mass)
 			cells++
 			continue
 		}
 		if n.Leaf {
 			for i := n.Start; i < n.Start+n.Count; i++ {
-				buf.jpos = append(buf.jpos, tree.Sys.Pos[i])
-				buf.jmass = append(buf.jmass, tree.Sys.Mass[i])
+				p := tree.Sys.Pos[i]
+				buf.J.Append(p.X, p.Y, p.Z, tree.Sys.Mass[i])
 			}
 			continue
 		}
+		m := 0
 		for _, c := range n.Children {
-			if c != octree.NoChild {
-				buf.stack = append(buf.stack, c)
+			if c == octree.NoChild {
+				continue
 			}
+			ch := &tree.Nodes[c]
+			buf.macX[m], buf.macY[m], buf.macZ[m] = ch.COM.X, ch.COM.Y, ch.COM.Z
+			buf.macS[m] = ch.EffSize(mac.UseBmax)
+			buf.macIdx[m] = c
+			m++
+		}
+		sink.Accept(&buf.macX, &buf.macY, &buf.macZ, &buf.macS, &buf.macOK)
+		for k := 0; k < m; k++ {
+			buf.stack = append(buf.stack, buf.macIdx[k])
+			buf.flags = append(buf.flags, buf.macOK[k])
 		}
 	}
+	buf.J.Pad()
 	return visited, cells
 }
 
@@ -459,6 +503,7 @@ func (tc *Treecode) walkParticle(tree *octree.Tree, i int, mac octree.OpenCriter
 		n := &tree.Nodes[idx]
 		visited++
 		d2 := pi.Dist2(n.COM)
+		//lint:ignore hostk per-particle reference walk: the original-algorithm ablation baseline, not a hot path
 		if mac.Accept(n, d2) {
 			fx, fy, fz, fp := pairForce(pi, n.COM, n.Mass, eps2)
 			ax += fx
@@ -505,6 +550,7 @@ func pairForce(pi, pj vec.V3, m, eps2 float64) (fx, fy, fz, pot float64) {
 		return 0, 0, 0, 0
 	}
 	r2 += eps2
+	//lint:ignore hostk scalar reference kernel of the original-algorithm walk; conformance-tested against hostk.P2P
 	inv := 1 / math.Sqrt(r2)
 	inv3 := inv / r2
 	return m * inv3 * dx, m * inv3 * dy, m * inv3 * dz, -m * inv
@@ -567,6 +613,7 @@ func (tc *Treecode) countParticle(tree *octree.Tree, i int, mac octree.OpenCrite
 		st = st[:len(st)-1]
 		n := &tree.Nodes[idx]
 		d2 := pi.Dist2(n.COM)
+		//lint:ignore hostk per-particle counting walk: arithmetic-free statistics, not a hot path
 		if mac.Accept(n, d2) {
 			count++
 			continue

@@ -1,10 +1,13 @@
 package core
 
 import (
+	"fmt"
 	"math"
+	"runtime"
 	"testing"
 	"testing/quick"
 
+	"repro/internal/hostk"
 	"repro/internal/nbody"
 	"repro/internal/rng"
 	"repro/internal/vec"
@@ -344,21 +347,53 @@ func TestEmptySystemFails(t *testing.T) {
 	}
 }
 
+// scalarRefEngine is the retired AoS host loop wrapped as an Engine —
+// the self-guard contract must hold identically for both kernels.
+type scalarRefEngine struct{ g, eps float64 }
+
+func (e *scalarRefEngine) Accumulate(req *Request) {
+	nj := req.J.N
+	jpos := make([]vec.V3, nj)
+	for j := 0; j < nj; j++ {
+		jpos[j] = vec.V3{X: req.J.X[j], Y: req.J.Y[j], Z: req.J.Z[j]}
+	}
+	hostk.ScalarAccumulate(e.g, e.eps, req.IPos, jpos, req.J.M[:nj], req.Acc, req.Pot)
+}
+
 func TestHostEngineSelfGuard(t *testing.T) {
-	// A source exactly at the field point contributes nothing.
-	req := Request{
-		IPos:  []vec.V3{{X: 1}},
-		JPos:  []vec.V3{{X: 1}, {X: 2}},
-		JMass: []float64{5, 1},
-		Acc:   make([]vec.V3, 1),
-		Pot:   make([]float64, 1),
+	// A source exactly at the field point contributes nothing — in the
+	// SoA tile kernel (zero-mass select, padded and unpadded tails) and
+	// in the scalar reference alike, at any GOMAXPROCS.
+	engines := map[string]Engine{
+		"soa":    &HostEngine{G: 1},
+		"scalar": &scalarRefEngine{g: 1},
 	}
-	(&HostEngine{G: 1}).Accumulate(&req)
-	if math.Abs(req.Acc[0].X-1) > 1e-14 {
-		t.Errorf("acc = %v, want exactly the non-self contribution 1", req.Acc[0])
-	}
-	if math.Abs(req.Pot[0]+1) > 1e-14 {
-		t.Errorf("pot = %v, want -1", req.Pot[0])
+	for _, procs := range []int{1, 4} {
+		for name, eng := range engines {
+			for _, pad := range []bool{false, true} {
+				t.Run(fmt.Sprintf("%s/procs=%d/pad=%v", name, procs, pad), func(t *testing.T) {
+					prev := runtime.GOMAXPROCS(procs)
+					defer runtime.GOMAXPROCS(prev)
+					req := Request{
+						IPos: []vec.V3{{X: 1}},
+						Acc:  make([]vec.V3, 1),
+						Pot:  make([]float64, 1),
+					}
+					req.J.Append(1, 0, 0, 5) // exactly at the field point
+					req.J.Append(2, 0, 0, 1)
+					if pad {
+						req.J.Pad()
+					}
+					eng.Accumulate(&req)
+					if math.Abs(req.Acc[0].X-1) > 1e-14 {
+						t.Errorf("acc = %v, want exactly the non-self contribution 1", req.Acc[0])
+					}
+					if math.Abs(req.Pot[0]+1) > 1e-14 {
+						t.Errorf("pot = %v, want -1", req.Pot[0])
+					}
+				})
+			}
+		}
 	}
 }
 

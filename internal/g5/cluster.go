@@ -302,13 +302,12 @@ func (c *Cluster) chunkSize(ni int) int {
 // into chunks, and each chunk is queued on a round-robin lane. Results
 // land in req.Acc/req.Pot no later than the next Flush.
 func (c *Cluster) Accumulate(req *core.Request) {
-	ni, nj := len(req.IPos), len(req.JPos)
+	ni, nj := len(req.IPos), req.J.N
 	if ni == 0 || nj == 0 {
 		return
 	}
 	js := c.jpool.Get().(*jset)
-	js.pos = append(js.pos[:0], req.JPos...)
-	js.mass = append(js.mass[:0], req.JMass...)
+	js.j.CopyFrom(&req.J)
 
 	chunk := c.chunkSize(ni)
 	nChunks := (ni + chunk - 1) / chunk
@@ -423,11 +422,11 @@ func (c *Cluster) run(k int, t *task) {
 	}()
 	sh := c.shards[k]
 	req := core.Request{
-		IPos: t.ipos, JPos: t.jset.pos, JMass: t.jset.mass,
+		IPos: t.ipos, J: t.jset.j,
 		Acc: t.acc, Pot: t.pot,
 	}
 	sh.eng.Accumulate(&req)
-	sh.interactions.Add(int64(len(t.ipos)) * int64(len(t.jset.pos)))
+	sh.interactions.Add(int64(len(t.ipos)) * int64(t.jset.j.N))
 	sh.batches.Add(1)
 }
 

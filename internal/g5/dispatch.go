@@ -3,6 +3,7 @@ package g5
 import (
 	"sync"
 
+	"repro/internal/hostk"
 	"repro/internal/vec"
 )
 
@@ -39,10 +40,10 @@ type task struct {
 // jset is the staged copy of one batch's source list (the Accumulate
 // caller reuses its j buffers immediately after submission). It is
 // shared by all the batch's i-chunks and recycled when the last chunk
-// drains.
+// drains. The SoA layout (padding included) is preserved so shard
+// engines see exactly the caller's request.
 type jset struct {
-	pos  []vec.V3
-	mass []float64
+	j    hostk.JList
 	refs int32 // accessed atomically via the cluster
 }
 

@@ -22,8 +22,9 @@ type Engine struct {
 }
 
 type scratch struct {
-	acc []vec.V3
-	pot []float64
+	jpos []vec.V3
+	acc  []vec.V3
+	pot  []float64
 }
 
 var _ core.Engine = (*Engine)(nil)
@@ -62,8 +63,20 @@ func (e *Engine) Accumulate(req *core.Request) {
 		pot[i] = 0
 	}
 
+	// Gather the SoA source list into the AoS layout the hardware DMA
+	// descriptors use; only the J.N real lanes are marshalled (padding
+	// stays on the host). The mass lanes alias the request directly.
+	nj := req.J.N
+	if cap(sc.jpos) < nj {
+		sc.jpos = make([]vec.V3, nj)
+	}
+	jpos := sc.jpos[:nj]
+	for j := 0; j < nj; j++ {
+		jpos[j] = vec.V3{X: req.J.X[j], Y: req.J.Y[j], Z: req.J.Z[j]}
+	}
+
 	e.mu.Lock()
-	err := e.sys.Compute(req.IPos, req.JPos, req.JMass, acc, pot)
+	err := e.sys.Compute(req.IPos, jpos, req.J.M[:nj], acc, pot)
 	e.mu.Unlock()
 	if err != nil {
 		var hw *HardwareError

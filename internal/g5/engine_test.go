@@ -34,20 +34,19 @@ func TestEngineMatchesHostEngine(t *testing.T) {
 	ni, nj := 20, 200
 	req := func() *core.Request {
 		ipos := make([]vec.V3, ni)
-		jpos := make([]vec.V3, nj)
-		jm := make([]float64, nj)
+		rq := &core.Request{IPos: ipos,
+			Acc: make([]vec.V3, ni), Pot: make([]float64, ni)}
 		for i := range ipos {
 			ipos[i] = vec.V3{X: r.Uniform(-40, 40), Y: r.Uniform(-40, 40), Z: r.Uniform(-40, 40)}
 		}
-		for j := range jpos {
-			jpos[j] = vec.V3{X: r.Uniform(-40, 40), Y: r.Uniform(-40, 40), Z: r.Uniform(-40, 40)}
-			jm[j] = 1 + r.Float64()
+		for j := 0; j < nj; j++ {
+			rq.J.Append(r.Uniform(-40, 40), r.Uniform(-40, 40), r.Uniform(-40, 40), 1+r.Float64())
 		}
-		return &core.Request{IPos: ipos, JPos: jpos, JMass: jm,
-			Acc: make([]vec.V3, ni), Pot: make([]float64, ni)}
+		rq.J.Pad()
+		return rq
 	}
 	rq1 := req()
-	rq2 := &core.Request{IPos: rq1.IPos, JPos: rq1.JPos, JMass: rq1.JMass,
+	rq2 := &core.Request{IPos: rq1.IPos, J: rq1.J,
 		Acc: make([]vec.V3, ni), Pot: make([]float64, ni)}
 	e.Accumulate(rq1)
 	host.Accumulate(rq2)
@@ -62,12 +61,11 @@ func TestEngineMatchesHostEngine(t *testing.T) {
 func TestEngineAddsIntoOutputs(t *testing.T) {
 	e := newTestEngine(t, 1)
 	req := &core.Request{
-		IPos:  []vec.V3{{X: -1}},
-		JPos:  []vec.V3{{X: 1}},
-		JMass: []float64{1},
-		Acc:   []vec.V3{{X: 100}},
-		Pot:   []float64{7},
+		IPos: []vec.V3{{X: -1}},
+		Acc:  []vec.V3{{X: 100}},
+		Pot:  []float64{7},
 	}
+	req.J.Append(1, 0, 0, 1)
 	e.Accumulate(req)
 	if req.Acc[0].X <= 100 {
 		t.Errorf("Accumulate must add, got %v", req.Acc[0].X)
@@ -88,12 +86,13 @@ func TestEngineConcurrentUse(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			req := &core.Request{
-				IPos:  []vec.V3{{X: -1}, {X: -2}},
-				JPos:  []vec.V3{{X: 1}, {X: 2}, {X: 3}},
-				JMass: []float64{1, 1, 1},
-				Acc:   make([]vec.V3, 2),
-				Pot:   make([]float64, 2),
+				IPos: []vec.V3{{X: -1}, {X: -2}},
+				Acc:  make([]vec.V3, 2),
+				Pot:  make([]float64, 2),
 			}
+			req.J.Append(1, 0, 0, 1)
+			req.J.Append(2, 0, 0, 1)
+			req.J.Append(3, 0, 0, 1)
 			e.Accumulate(req)
 		}()
 	}

@@ -89,13 +89,13 @@ func TestEnginePanicsOnHardwareFault(t *testing.T) {
 			t.Errorf("driver bug marked transient: %v", hw)
 		}
 	}()
-	e.Accumulate(&core.Request{
-		IPos:  []vec.V3{{X: 99}},
-		JPos:  []vec.V3{{}},
-		JMass: []float64{1},
-		Acc:   make([]vec.V3, 1),
-		Pot:   make([]float64, 1),
-	})
+	req := core.Request{
+		IPos: []vec.V3{{X: 99}},
+		Acc:  make([]vec.V3, 1),
+		Pot:  make([]float64, 1),
+	}
+	req.J.Append(0, 0, 0, 1)
+	e.Accumulate(&req)
 }
 
 // TestMorePipesFasterModel: doubling the board count must halve the

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/hostk"
 	"repro/internal/obs"
 	"repro/internal/vec"
 )
@@ -113,6 +114,7 @@ type GuardedEngine struct {
 
 	// scratch (guarded by mu)
 	ipos []vec.V3
+	jpos []vec.V3
 	acc  []vec.V3
 	pot  []float64
 }
@@ -155,7 +157,7 @@ func (e *GuardedEngine) Recovery() Recovery {
 // Accumulate implements core.Engine.
 func (e *GuardedEngine) Accumulate(req *core.Request) {
 	ni := len(req.IPos)
-	if ni == 0 || len(req.JPos) == 0 {
+	if ni == 0 || req.J.N == 0 {
 		return
 	}
 	e.mu.Lock()
@@ -254,6 +256,18 @@ func (e *GuardedEngine) computeVerified(req *core.Request) bool {
 	for s := 0; s < vp; s++ {
 		ipos[ni+s] = probe
 	}
+
+	// Gather the SoA source list into the hardware's AoS layout once,
+	// outside the retry loop: re-runs and bisection passes reuse it.
+	nj := req.J.N
+	if cap(e.jpos) < nj {
+		e.jpos = make([]vec.V3, nj)
+	}
+	jpos := e.jpos[:nj]
+	for j := 0; j < nj; j++ {
+		jpos[j] = vec.V3{X: req.J.X[j], Y: req.J.Y[j], Z: req.J.Z[j]}
+	}
+	jmass := req.J.M[:nj]
 	tg.Stop()
 
 	for attempt := 0; attempt <= e.policy.MaxRetries; attempt++ {
@@ -270,7 +284,7 @@ func (e *GuardedEngine) computeVerified(req *core.Request) bool {
 			acc[i] = vec.Zero
 			pot[i] = 0
 		}
-		err := e.sys.Compute(ipos, req.JPos, req.JMass, acc, pot)
+		err := e.sys.Compute(ipos, jpos, jmass, acc, pot)
 		retry.Stop()
 		if err != nil {
 			if IsTransient(err) {
@@ -323,16 +337,12 @@ func (e *GuardedEngine) probePoint() vec.V3 {
 
 // hostProbeForce computes the float64 reference force and potential on
 // the probe from the batch's own j-list — O(nj), the price of one
-// extra i-particle.
+// extra i-particle. It consumes the request's SoA list directly through
+// the shared hostk tile kernel (G=1 units, matching the hardware).
 func (e *GuardedEngine) hostProbeForce(probe vec.V3, req *core.Request) (vec.V3, float64) {
-	ref := core.HostEngine{G: 1, Eps: e.sys.Eps()}
-	var acc [1]vec.V3
-	var pot [1]float64
-	ref.Accumulate(&core.Request{
-		IPos: []vec.V3{probe}, JPos: req.JPos, JMass: req.JMass,
-		Acc: acc[:], Pot: pot[:],
-	})
-	return acc[0], pot[0]
+	eps := e.sys.Eps()
+	ax, ay, az, pot := hostk.P2P(probe.X, probe.Y, probe.Z, &req.J, eps*eps)
+	return vec.V3{X: ax, Y: ay, Z: az}, pot
 }
 
 // verifyProbe checks every virtual-pipeline slot's probe force against

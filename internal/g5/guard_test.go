@@ -18,23 +18,32 @@ func fastPolicy() GuardPolicy {
 // randomRequest builds a reproducible batch within [-40, 40].
 func randomRequest(r *rng.Source, ni, nj int) *core.Request {
 	ipos := make([]vec.V3, ni)
-	jpos := make([]vec.V3, nj)
-	jm := make([]float64, nj)
+	q := &core.Request{IPos: ipos,
+		Acc: make([]vec.V3, ni), Pot: make([]float64, ni)}
 	for i := range ipos {
 		ipos[i] = vec.V3{X: r.Uniform(-40, 40), Y: r.Uniform(-40, 40), Z: r.Uniform(-40, 40)}
 	}
-	for j := range jpos {
-		jpos[j] = vec.V3{X: r.Uniform(-40, 40), Y: r.Uniform(-40, 40), Z: r.Uniform(-40, 40)}
-		jm[j] = 1 + r.Float64()
+	for j := 0; j < nj; j++ {
+		q.J.Append(r.Uniform(-40, 40), r.Uniform(-40, 40), r.Uniform(-40, 40), 1+r.Float64())
 	}
-	return &core.Request{IPos: ipos, JPos: jpos, JMass: jm,
-		Acc: make([]vec.V3, ni), Pot: make([]float64, ni)}
+	q.J.Pad()
+	return q
 }
 
 // cloneRequest shares inputs but gives fresh outputs.
 func cloneRequest(q *core.Request) *core.Request {
-	return &core.Request{IPos: q.IPos, JPos: q.JPos, JMass: q.JMass,
+	return &core.Request{IPos: q.IPos, J: q.J,
 		Acc: make([]vec.V3, len(q.IPos)), Pot: make([]float64, len(q.IPos))}
+}
+
+// aosSources gathers a request's SoA j-list into the AoS slices that
+// System.Compute takes directly.
+func aosSources(q *core.Request) ([]vec.V3, []float64) {
+	jpos := make([]vec.V3, q.J.N)
+	for j := range jpos {
+		jpos[j] = vec.V3{X: q.J.X[j], Y: q.J.Y[j], Z: q.J.Z[j]}
+	}
+	return jpos, q.J.M[:q.J.N]
 }
 
 func newGuardSystem(t *testing.T, cfg Config, eps float64) *System {
@@ -247,7 +256,8 @@ func TestFaultDeterminism(t *testing.T) {
 		var errs []error
 		for k := 0; k < 15; k++ {
 			q := randomRequest(r, 8, 50)
-			err := sys.Compute(q.IPos, q.JPos, q.JMass, q.Acc, q.Pot)
+			jpos, jm := aosSources(q)
+			err := sys.Compute(q.IPos, jpos, jm, q.Acc, q.Pot)
 			errs = append(errs, err)
 			forces = append(forces, q.Acc...)
 		}
@@ -281,8 +291,9 @@ func TestFaultDeterminism(t *testing.T) {
 func TestFaultSilentCorruption(t *testing.T) {
 	r := rng.New(16)
 	q := randomRequest(r, 96, 50)
+	jpos, jm := aosSources(q)
 	clean := newGuardSystem(t, DefaultConfig(), 0.05)
-	if err := clean.Compute(q.IPos, q.JPos, q.JMass, q.Acc, q.Pot); err != nil {
+	if err := clean.Compute(q.IPos, jpos, jm, q.Acc, q.Pot); err != nil {
 		t.Fatal(err)
 	}
 	for _, fm := range []FaultModel{
@@ -294,7 +305,7 @@ func TestFaultSilentCorruption(t *testing.T) {
 		cfg.Fault = &f
 		sys := newGuardSystem(t, cfg, 0.05)
 		qq := cloneRequest(q)
-		if err := sys.Compute(qq.IPos, qq.JPos, qq.JMass, qq.Acc, qq.Pot); err != nil {
+		if err := sys.Compute(qq.IPos, jpos, jm, qq.Acc, qq.Pot); err != nil {
 			t.Fatalf("%+v: silent fault returned error %v", fm, err)
 		}
 		same := true

@@ -1,0 +1,212 @@
+package hostk_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/hostk"
+	"repro/internal/octree"
+	"repro/internal/rng"
+	"repro/internal/vec"
+)
+
+// macCase is one adversarial MAC geometry: a sink box and a candidate
+// cell placed to stress the accept boundary.
+type macCase struct {
+	name    string
+	box     vec.Box
+	com     vec.V3
+	size    float64
+	bmax    float64
+	theta   float64
+	useBmax bool
+}
+
+func unitBox() vec.Box {
+	return vec.Box{Min: vec.V3{X: 0, Y: 0, Z: 0}, Max: vec.V3{X: 1, Y: 1, Z: 1}}
+}
+
+func macCases() []macCase {
+	b := unitBox()
+	return []macCase{
+		{name: "far-cell-accepted", box: b, com: vec.V3{X: 10, Y: 0.5, Z: 0.5}, size: 1, bmax: 0.9, theta: 0.75},
+		{name: "near-cell-opened", box: b, com: vec.V3{X: 1.1, Y: 0.5, Z: 0.5}, size: 1, bmax: 0.9, theta: 0.75},
+		{name: "com-inside-sink", box: b, com: vec.V3{X: 0.5, Y: 0.5, Z: 0.5}, size: 0.5, bmax: 0.4, theta: 0.75},
+		{name: "com-on-face", box: b, com: vec.V3{X: 1, Y: 0.5, Z: 0.5}, size: 0.25, bmax: 0.2, theta: 0.75},
+		{name: "com-on-corner", box: b, com: vec.V3{X: 1, Y: 1, Z: 1}, size: 0.25, bmax: 0.2, theta: 0.75},
+		{name: "zero-size-inside", box: b, com: vec.V3{X: 0.5, Y: 0.5, Z: 0.5}, size: 0, bmax: 0, theta: 0.75},
+		{name: "zero-size-outside", box: b, com: vec.V3{X: 3, Y: 3, Z: 3}, size: 0, bmax: 0, theta: 0.75},
+		{name: "theta-zero-far", box: b, com: vec.V3{X: 100, Y: 100, Z: 100}, size: 0.1, bmax: 0.05, theta: 0},
+		{name: "theta-zero-zero-size", box: b, com: vec.V3{X: 100, Y: 100, Z: 100}, size: 0, bmax: 0, theta: 0},
+		{name: "bmax-criterion", box: b, com: vec.V3{X: 2.5, Y: 0.5, Z: 0.5}, size: 1, bmax: 1.2, theta: 0.75, useBmax: true},
+		{name: "boundary-exact", box: b, com: vec.V3{X: 2, Y: 0.5, Z: 0.5}, size: 0.75, bmax: 0.75, theta: 0.75},
+		{name: "negative-coords", box: vec.Box{Min: vec.V3{X: -2, Y: -2, Z: -2}, Max: vec.V3{X: -1, Y: -1, Z: -1}},
+			com: vec.V3{X: -4, Y: -1.5, Z: -1.5}, size: 0.5, bmax: 0.45, theta: 0.6},
+		{name: "tiny-theta", box: b, com: vec.V3{X: 1e8, Y: 0, Z: 0}, size: 1e-8, bmax: 1e-8, theta: 1e-9},
+		{name: "degenerate-point-box", box: vec.Box{Min: vec.V3{X: 0.5, Y: 0.5, Z: 0.5}, Max: vec.V3{X: 0.5, Y: 0.5, Z: 0.5}},
+			com: vec.V3{X: 0.5, Y: 0.5, Z: 0.5}, size: 0.1, bmax: 0.1, theta: 0.75},
+	}
+}
+
+// sinkFor builds the SoA sink exactly the way the group walk does.
+func sinkFor(box vec.Box, theta float64) hostk.MACSink {
+	return hostk.MACSink{
+		MinX: box.Min.X, MinY: box.Min.Y, MinZ: box.Min.Z,
+		MaxX: box.Max.X, MaxY: box.Max.Y, MaxZ: box.Max.Z,
+		Theta2: theta * theta,
+	}
+}
+
+// TestSoAMatchesScalar is the differential conformance suite: the
+// batched kernels must agree with the scalar references exactly —
+// bool-for-bool on the MAC, bit-for-bit on forces.
+func TestSoAMatchesScalar(t *testing.T) {
+	t.Run("mac-table", func(t *testing.T) {
+		for _, c := range macCases() {
+			c := c
+			t.Run(c.name, func(t *testing.T) {
+				n := &octree.Node{COM: c.com, Size: c.size, Bmax: c.bmax}
+				mac := octree.OpenCriterion{Theta: c.theta, UseBmax: c.useBmax}
+				want := mac.Accept(n, c.box.Dist2(c.com))
+
+				sink := sinkFor(c.box, c.theta)
+				var x, y, z, eff [hostk.MACWidth]float64
+				var out [hostk.MACWidth]bool
+				// Replicate the candidate across every lane: all verdicts
+				// must agree regardless of lane position.
+				for k := 0; k < hostk.MACWidth; k++ {
+					x[k], y[k], z[k] = c.com.X, c.com.Y, c.com.Z
+					eff[k] = n.EffSize(c.useBmax)
+				}
+				sink.Accept(&x, &y, &z, &eff, &out)
+				for k := 0; k < hostk.MACWidth; k++ {
+					if out[k] != want {
+						t.Fatalf("lane %d: SoA accept=%v, scalar accept=%v", k, out[k], want)
+					}
+				}
+			})
+		}
+	})
+
+	t.Run("mac-random", func(t *testing.T) {
+		r := rng.New(42)
+		mixed := 0
+		for trial := 0; trial < 2000; trial++ {
+			lo := vec.V3{X: r.Float64() * 2, Y: r.Float64() * 2, Z: r.Float64() * 2}
+			box := vec.Box{Min: lo, Max: lo.Add(vec.V3{X: r.Float64(), Y: r.Float64(), Z: r.Float64()})}
+			theta := r.Float64() * 1.5
+			useBmax := trial%2 == 0
+			sink := sinkFor(box, theta)
+			var x, y, z, eff [hostk.MACWidth]float64
+			var out [hostk.MACWidth]bool
+			nodes := make([]octree.Node, hostk.MACWidth)
+			for k := range nodes {
+				nodes[k] = octree.Node{
+					COM:  vec.V3{X: (r.Float64() - 0.5) * 8, Y: (r.Float64() - 0.5) * 8, Z: (r.Float64() - 0.5) * 8},
+					Size: r.Float64() * 2, Bmax: r.Float64() * 2,
+				}
+				x[k], y[k], z[k] = nodes[k].COM.X, nodes[k].COM.Y, nodes[k].COM.Z
+				eff[k] = nodes[k].EffSize(useBmax)
+			}
+			sink.Accept(&x, &y, &z, &eff, &out)
+			mac := octree.OpenCriterion{Theta: theta, UseBmax: useBmax}
+			for k := range nodes {
+				want := mac.Accept(&nodes[k], box.Dist2(nodes[k].COM))
+				if out[k] != want {
+					t.Fatalf("trial %d lane %d: SoA=%v scalar=%v (com %v box %v theta %g)",
+						trial, k, out[k], want, nodes[k].COM, box, theta)
+				}
+				if want {
+					mixed++
+				}
+			}
+		}
+		if mixed == 0 || mixed == 2000*hostk.MACWidth {
+			t.Fatalf("degenerate random MAC coverage: %d accepts", mixed)
+		}
+	})
+
+	t.Run("p2p", func(t *testing.T) {
+		for _, tc := range []struct {
+			name string
+			ni   int
+			nj   int
+			eps  float64
+			g    float64
+			self bool // plant exact zero-separation pairs
+			pad  bool
+		}{
+			{name: "single-pair", ni: 1, nj: 1, eps: 0.01, g: 1},
+			{name: "one-tile-exact", ni: 3, nj: hostk.JTile, eps: 0.05, g: 2},
+			{name: "tail-lane", ni: 4, nj: hostk.JTile + 3, eps: 0.05, g: 1, pad: true},
+			{name: "self-pairs", ni: 8, nj: 40, eps: 0.02, g: 1, self: true, pad: true},
+			{name: "self-pairs-zero-eps", ni: 5, nj: 21, eps: 0, g: 1, self: true, pad: true},
+			{name: "large-unpadded", ni: 16, nj: 137, eps: 0.01, g: 0.5},
+			{name: "empty-list", ni: 3, nj: 0, eps: 0.01, g: 1, pad: true},
+		} {
+			tc := tc
+			t.Run(tc.name, func(t *testing.T) {
+				r := rng.New(7)
+				ipos := make([]vec.V3, tc.ni)
+				for i := range ipos {
+					ipos[i] = vec.V3{X: r.Float64(), Y: r.Float64(), Z: r.Float64()}
+				}
+				jpos := make([]vec.V3, tc.nj)
+				jmass := make([]float64, tc.nj)
+				var list hostk.JList
+				for j := range jpos {
+					jpos[j] = vec.V3{X: r.Float64(), Y: r.Float64(), Z: r.Float64()}
+					if tc.self && j%5 == 0 {
+						jpos[j] = ipos[j%tc.ni] // exact zero separation
+					}
+					jmass[j] = r.Float64()
+					list.Append(jpos[j].X, jpos[j].Y, jpos[j].Z, jmass[j])
+				}
+				if tc.pad {
+					list.Pad()
+					if list.Len()%hostk.JTile != 0 || list.N != tc.nj {
+						t.Fatalf("Pad broke invariants: len=%d N=%d", list.Len(), list.N)
+					}
+				}
+
+				wantAcc := make([]vec.V3, tc.ni)
+				wantPot := make([]float64, tc.ni)
+				hostk.ScalarAccumulate(tc.g, tc.eps, ipos, jpos, jmass, wantAcc, wantPot)
+
+				eps2 := tc.eps * tc.eps
+				for i, pi := range ipos {
+					ax, ay, az, pot := hostk.P2P(pi.X, pi.Y, pi.Z, &list, eps2)
+					got := vec.V3{X: tc.g * ax, Y: tc.g * ay, Z: tc.g * az}
+					if got != wantAcc[i] {
+						t.Fatalf("i=%d: SoA acc %v != scalar %v (Δbits x: %d)",
+							i, got, wantAcc[i],
+							int64(math.Float64bits(got.X))-int64(math.Float64bits(wantAcc[i].X)))
+					}
+					if gp := tc.g * pot; gp != wantPot[i] {
+						t.Fatalf("i=%d: SoA pot %v != scalar %v", i, gp, wantPot[i])
+					}
+				}
+			})
+		}
+	})
+}
+
+// TestJListCopyFrom pins the staging-copy semantics the cluster relies
+// on: padding and the real count survive the copy, and the copy aliases
+// nothing.
+func TestJListCopyFrom(t *testing.T) {
+	var src hostk.JList
+	src.Append(1, 2, 3, 4)
+	src.Append(5, 6, 7, 8)
+	src.Pad()
+	var dst hostk.JList
+	dst.Append(9, 9, 9, 9) // stale content must be discarded
+	dst.CopyFrom(&src)
+	if dst.N != 2 || dst.Len() != src.Len() {
+		t.Fatalf("copy: N=%d len=%d, want N=2 len=%d", dst.N, dst.Len(), src.Len())
+	}
+	src.X[0] = -1
+	if dst.X[0] != 1 {
+		t.Fatal("CopyFrom aliased the source storage")
+	}
+}

@@ -1,0 +1,67 @@
+package hostk
+
+import "math"
+
+// P2P accumulates the softened gravitational acceleration and potential
+// exerted by every lane of l (padding included) on the field point
+// (px,py,pz), in strict lane order with a single accumulator per
+// component — the summation order contract that makes the result
+// bitwise identical to the retired scalar loop (ScalarAccumulate with
+// one i-particle and G=1). Zero-separation lanes (the self-interaction
+// guard, and pad lanes coinciding with the field point) contribute
+// exactly nothing via the zero-mass select; see the package comment for
+// the IEEE-754 argument.
+func P2P(px, py, pz float64, l *JList, eps2 float64) (ax, ay, az, pot float64) {
+	x := l.X
+	n := len(x)
+	// Reslicing to a common length hoists the bounds checks of the
+	// sibling arrays out of both loops.
+	y, z, m := l.Y[:n], l.Z[:n], l.M[:n]
+	j := 0
+	for ; j+JTile <= n; j += JTile {
+		xt := (*[JTile]float64)(x[j:])
+		yt := (*[JTile]float64)(y[j:])
+		zt := (*[JTile]float64)(z[j:])
+		mt := (*[JTile]float64)(m[j:])
+		for k := 0; k < JTile; k++ {
+			dx := xt[k] - px
+			dy := yt[k] - py
+			dz := zt[k] - pz
+			r2 := dx*dx + dy*dy + dz*dz
+			mj := mt[k]
+			if r2 == 0 {
+				// Zero-separation select: substitute a massless source at
+				// unit distance instead of branching out of the lane.
+				mj = 0
+				r2 = 1
+			}
+			r2 += eps2
+			inv := 1 / math.Sqrt(r2)
+			inv3 := inv / r2
+			ax += mj * inv3 * dx
+			ay += mj * inv3 * dy
+			az += mj * inv3 * dz
+			pot -= mj * inv
+		}
+	}
+	// Scalar remainder for unpadded lists (empty after JList.Pad).
+	for ; j < n; j++ {
+		dx := x[j] - px
+		dy := y[j] - py
+		dz := z[j] - pz
+		r2 := dx*dx + dy*dy + dz*dz
+		mj := m[j]
+		if r2 == 0 {
+			mj = 0
+			r2 = 1
+		}
+		r2 += eps2
+		inv := 1 / math.Sqrt(r2)
+		inv3 := inv / r2
+		ax += mj * inv3 * dx
+		ay += mj * inv3 * dy
+		az += mj * inv3 * dz
+		pot -= mj * inv
+	}
+	return ax, ay, az, pot
+}

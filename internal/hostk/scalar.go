@@ -1,0 +1,38 @@
+package hostk
+
+import (
+	"math"
+
+	"repro/internal/vec"
+)
+
+// ScalarAccumulate is the retired pre-SoA host force loop, kept
+// verbatim (AoS layout, per-pair `continue` self-guard) as the
+// differential-conformance reference: the SoA kernels must match it
+// bit for bit, and the pre-SoA trajectory goldens were recorded with
+// exactly this arithmetic. It is not called on any hot path.
+func ScalarAccumulate(g, eps float64, ipos, jpos []vec.V3, jmass []float64, acc []vec.V3, pot []float64) {
+	eps2 := eps * eps
+	for i, pi := range ipos {
+		var ax, ay, az, p float64
+		for j, pj := range jpos {
+			dx := pj.X - pi.X
+			dy := pj.Y - pi.Y
+			dz := pj.Z - pi.Z
+			r2 := dx*dx + dy*dy + dz*dz
+			if r2 == 0 {
+				continue // self-interaction guard
+			}
+			r2 += eps2
+			inv := 1 / math.Sqrt(r2)
+			inv3 := inv / r2
+			m := jmass[j]
+			ax += m * inv3 * dx
+			ay += m * inv3 * dy
+			az += m * inv3 * dz
+			p -= m * inv
+		}
+		acc[i] = acc[i].Add(vec.V3{X: g * ax, Y: g * ay, Z: g * az})
+		pot[i] += g * p
+	}
+}

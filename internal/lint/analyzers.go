@@ -8,5 +8,6 @@ func All() []*Analyzer {
 		AnalyzerG5Format,
 		AnalyzerObsSpan,
 		AnalyzerErrDiscipline,
+		AnalyzerHostK,
 	}
 }

@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// AnalyzerHostK keeps the hot host-side inner loops in one place: the
+// batched SoA kernels of internal/hostk. Scalar force kernels and
+// per-node MAC chains scattered through the physics packages are how
+// the pre-SoA hot paths drifted apart (three hand-rolled copies of the
+// same inverse-sqrt loop, each with its own self-interaction guard);
+// the kernels package exists so there is exactly one implementation,
+// one conformance suite and one benchmark per kernel.
+//
+// Two shapes are flagged inside physicsPackages (outside hostk itself):
+//
+//  1. `1 / math.Sqrt(...)` — the inverse-square-root of a softened
+//     force kernel. Force evaluation belongs in hostk.P2P (or behind a
+//     core.Engine that calls it).
+//
+//  2. Calls to octree.OpenCriterion.Accept — the per-node scalar MAC.
+//     The grouped walk batches candidate cells through hostk.MACSink;
+//     internal/octree itself is exempt (it defines the criterion).
+//
+// Sanctioned scalar references (the §3 counterfactual walk, direct
+// summation, the PM far-field kernel, the retired-loop conformance
+// references) carry `//lint:ignore hostk <reason>` suppressions.
+var AnalyzerHostK = &Analyzer{
+	Name: "hostk",
+	Doc:  "flag scalar force / MAC inner loops in physics packages outside internal/hostk (use the batched SoA kernels)",
+	Run:  runHostK,
+}
+
+func runHostK(pass *Pass) error {
+	path := pass.Pkg.Path()
+	if !physicsPackages[path] || path == hostkPath {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				checkInvSqrt(pass, n)
+			case *ast.CallExpr:
+				if path != octreePath {
+					checkScalarMAC(pass, n)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkInvSqrt flags `1 / math.Sqrt(...)` — the signature operation of
+// a hand-rolled softened force kernel.
+func checkInvSqrt(pass *Pass, bin *ast.BinaryExpr) {
+	if bin.Op != token.QUO {
+		return
+	}
+	lit, ok := ast.Unparen(bin.X).(*ast.BasicLit)
+	if !ok || lit.Value != "1" {
+		return
+	}
+	call, ok := ast.Unparen(bin.Y).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	f := calleeFunc(pass.Info, call)
+	if f == nil || f.Name() != "Sqrt" || funcPkgPath(f) != "math" {
+		return
+	}
+	pass.Reportf(bin.Pos(), "scalar inverse-sqrt force kernel outside internal/hostk: route force evaluation through hostk.P2P (one kernel, one conformance suite)")
+}
+
+// checkScalarMAC flags per-node octree.OpenCriterion.Accept calls.
+func checkScalarMAC(pass *Pass, call *ast.CallExpr) {
+	f := calleeFunc(pass.Info, call)
+	if f == nil || f.Name() != "Accept" {
+		return
+	}
+	if pkg, typ, ok := recvNamed(f); ok && pkg == octreePath && typ == "OpenCriterion" {
+		pass.Reportf(call.Pos(), "per-node OpenCriterion.Accept outside internal/hostk: batch candidate cells through hostk.MACSink in hot walks")
+	}
+}

@@ -154,6 +154,7 @@ var physicsPackages = map[string]bool{
 	"repro/internal/core":      true,
 	"repro/internal/octree":    true,
 	"repro/internal/g5":        true,
+	"repro/internal/hostk":     true,
 	"repro/internal/integrate": true,
 	"repro/internal/nbody":     true,
 	"repro/internal/cosmo":     true,
@@ -161,6 +162,13 @@ var physicsPackages = map[string]bool{
 	"repro/internal/morton":    true,
 	"repro/internal/vec":       true,
 }
+
+// hostkPath is the batched host-kernel package; the hostk analyzer
+// exempts it (it holds the kernels and their scalar references).
+const hostkPath = "repro/internal/hostk"
+
+// octreePath defines the scalar MAC; the hostk analyzer exempts it.
+const octreePath = "repro/internal/octree"
 
 // g5Path is the hardware package; several analyzers key on it.
 const g5Path = "repro/internal/g5"

@@ -40,3 +40,13 @@ func TestObsSpanFixture(t *testing.T) {
 func TestErrDisciplineFixture(t *testing.T) {
 	linttest.Run(t, "testdata/errdiscipline", "repro/cmd/fixture", lint.AnalyzerErrDiscipline)
 }
+
+func TestHostKFixture(t *testing.T) {
+	// repro/internal/pm: a physics package that is neither hostk (the
+	// kernels home) nor octree (the criterion's definition site).
+	linttest.Run(t, "testdata/hostk", "repro/internal/pm", lint.AnalyzerHostK)
+}
+
+func TestHostKExemptsKernelPackage(t *testing.T) {
+	linttest.Run(t, "testdata/hostk_exempt", "repro/internal/hostk", lint.AnalyzerHostK)
+}

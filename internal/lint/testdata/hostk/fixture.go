@@ -1,0 +1,60 @@
+// Package fixture seeds the scalar-kernel shapes the hostk analyzer
+// polices: hand-rolled inverse-sqrt force loops and per-node MAC
+// chains in a physics package outside internal/hostk. The test
+// type-checks it under the repro/internal/pm import path (a physics
+// package that is neither hostk nor octree).
+package fixture
+
+import (
+	"math"
+
+	"repro/internal/octree"
+	"repro/internal/vec"
+)
+
+// scalarForceLoop is the drifted-copy pattern the kernels package
+// replaces: its inner loop re-implements the softened P2P kernel.
+func scalarForceLoop(pi vec.V3, jpos []vec.V3, jmass []float64, eps2 float64) (acc vec.V3, pot float64) {
+	for j := range jpos {
+		d := jpos[j].Sub(pi)
+		r2 := d.Dot(d) + eps2
+		inv := 1 / math.Sqrt(r2) // want "scalar inverse-sqrt force kernel outside internal/hostk"
+		inv3 := inv / r2
+		acc = acc.Add(d.Scale(jmass[j] * inv3))
+		pot -= jmass[j] * inv
+	}
+	return acc, pot
+}
+
+// parenthesised still matches through ast.Unparen.
+func parenthesised(r2 float64) float64 {
+	return (1) / (math.Sqrt(r2)) // want "scalar inverse-sqrt force kernel outside internal/hostk"
+}
+
+// halfOverSqrt is NOT the kernel signature (numerator != 1) and a
+// plain Sqrt without the reciprocal is ordinary math; neither fires.
+func halfOverSqrt(r2 float64) (float64, float64) {
+	return 0.5 / math.Sqrt(r2), math.Sqrt(r2)
+}
+
+// scalarMACWalk evaluates the opening criterion node by node — the
+// pre-batch walk shape.
+func scalarMACWalk(mac octree.OpenCriterion, nodes []octree.Node, p vec.V3) int {
+	accepted := 0
+	for i := range nodes {
+		if mac.Accept(&nodes[i], p.Dist2(nodes[i].COM)) { // want "per-node OpenCriterion.Accept outside internal/hostk"
+			accepted++
+		}
+	}
+	return accepted
+}
+
+// sanctionedReference shows the suppression idiom for the counterfactual
+// reference paths; no diagnostic may fire here.
+func sanctionedReference(mac octree.OpenCriterion, n *octree.Node, d2, r2 float64) (bool, float64) {
+	//lint:ignore hostk reference walk kept scalar on purpose
+	ok := mac.Accept(n, d2)
+	//lint:ignore hostk retired-loop conformance reference
+	inv := 1 / math.Sqrt(r2)
+	return ok, inv
+}

@@ -1,0 +1,31 @@
+// Package fixture holds the same scalar-kernel shapes the hostk
+// analyzer flags elsewhere, type-checked under the
+// repro/internal/hostk import path: the kernels package is where the
+// scalar references legitimately live, so nothing may fire.
+package fixture
+
+import (
+	"math"
+
+	"repro/internal/octree"
+	"repro/internal/vec"
+)
+
+// referenceKernel is the retired scalar loop the conformance suite
+// compares against; inside hostk it is sanctioned as-is.
+func referenceKernel(pi vec.V3, jpos []vec.V3, jmass []float64, eps2 float64) (acc vec.V3, pot float64) {
+	for j := range jpos {
+		d := jpos[j].Sub(pi)
+		r2 := d.Dot(d) + eps2
+		inv := 1 / math.Sqrt(r2)
+		acc = acc.Add(d.Scale(jmass[j] * inv / r2))
+		pot -= jmass[j] * inv
+	}
+	return acc, pot
+}
+
+// referenceMAC is the per-node criterion the batch kernel is verified
+// against.
+func referenceMAC(mac octree.OpenCriterion, n *octree.Node, p vec.V3) bool {
+	return mac.Accept(n, p.Dist2(n.COM))
+}

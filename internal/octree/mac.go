@@ -18,11 +18,12 @@ type OpenCriterion struct {
 // Accept reports whether the cell n may be approximated by its centre
 // of mass when the squared distance from the field point (or from the
 // receiving group's surface) to n.COM is d2.
+//
+// This is the scalar criterion; the group walk evaluates the same
+// predicate in batches through hostk.MACSink, whose conformance tests
+// pin exact bool-for-bool agreement with this function.
 func (c OpenCriterion) Accept(n *Node, d2 float64) bool {
-	s := n.Size
-	if c.UseBmax {
-		s = n.Bmax
-	}
+	s := n.EffSize(c.UseBmax)
 	// Accept when s < θ·d, i.e. s² < θ²·d².
 	return s*s < c.Theta*c.Theta*d2
 }

@@ -47,6 +47,18 @@ type Node struct {
 	Level int32
 }
 
+// EffSize returns the opening-criterion effective size: the cell edge
+// length, or the conservative COM-to-farthest-corner radius when
+// useBmax is set. Both the scalar criterion (OpenCriterion.Accept) and
+// the batched walk's lane gather read the quantity through this single
+// accessor so the two paths cannot drift.
+func (n *Node) EffSize(useBmax bool) float64 {
+	if useBmax {
+		return n.Bmax
+	}
+	return n.Size
+}
+
 // Tree is a built Barnes-Hut octree over a particle system. The system
 // is reordered into Morton order by Build; Tree keeps a reference to
 // its arrays.

@@ -1,0 +1,117 @@
+package perf
+
+import (
+	"time"
+
+	"repro/internal/hostk"
+)
+
+// KernelCost holds measured per-operation costs of the host-side hot
+// kernels — seconds per pairwise interaction of hostk.P2P and seconds
+// per candidate-cell test of the batched MAC sink — timed on the
+// machine the model will be used on. The DS10 coefficients in HostModel
+// are calibrated against the paper's hardware; KernelCost is how the
+// model tracks the host this code actually runs on, so the n_g balance
+// (ClusterBalance, OptimalNcritK) reflects the batched kernels' faster
+// host term instead of a 1999 workstation's.
+type KernelCost struct {
+	// P2PSeconds is the measured cost of one softened pairwise
+	// interaction in hostk.P2P.
+	P2PSeconds float64
+	// MACSeconds is the measured cost of one candidate-cell opening
+	// test through hostk.MACSink (gather included, batch of MACWidth).
+	MACSeconds float64
+}
+
+// MeasureKernelCost times the hostk kernels directly. The measurement
+// is wall-clock and therefore machine- and load-dependent — it feeds
+// only the performance model, never simulation state. Costs a few
+// milliseconds.
+func MeasureKernelCost() KernelCost {
+	return KernelCost{
+		P2PSeconds: measureP2P(),
+		MACSeconds: measureMAC(),
+	}
+}
+
+// measureP2P times one probe point against a padded 4096-entry list,
+// repeated until the sample is long enough to trust the timer.
+func measureP2P() float64 {
+	const nj = 4096
+	var list hostk.JList
+	for j := 0; j < nj; j++ {
+		// A deterministic low-discrepancy spread; geometry barely
+		// matters, the kernel is arithmetic-throughput bound.
+		f := float64(j)
+		list.Append(f*0.618, f*0.382, f*0.236, 1)
+	}
+	list.Pad()
+	var sink float64
+	iters := 1
+	for {
+		t0 := time.Now()
+		for it := 0; it < iters; it++ {
+			ax, ay, az, pot := hostk.P2P(0.5, 0.5, 0.5, &list, 1e-4)
+			sink += ax + ay + az + pot
+		}
+		dt := time.Since(t0)
+		if dt >= 2*time.Millisecond {
+			_ = sink
+			return dt.Seconds() / float64(iters) / float64(nj)
+		}
+		iters *= 4
+	}
+}
+
+// measureMAC times batched opening tests over a synthetic frontier.
+func measureMAC() float64 {
+	const batches = 512
+	sink := hostk.MACSink{MinX: 0, MinY: 0, MinZ: 0, MaxX: 1, MaxY: 1, MaxZ: 1, Theta2: 0.75 * 0.75}
+	var x, y, z, eff [hostk.MACWidth]float64
+	var out [hostk.MACWidth]bool
+	for k := 0; k < hostk.MACWidth; k++ {
+		f := float64(k + 1)
+		x[k], y[k], z[k], eff[k] = f*0.7, f*0.4, f*0.9, 0.5
+	}
+	accepted := 0
+	iters := 1
+	for {
+		t0 := time.Now()
+		for it := 0; it < iters; it++ {
+			for b := 0; b < batches; b++ {
+				sink.Accept(&x, &y, &z, &eff, &out)
+				if out[0] {
+					accepted++
+				}
+			}
+		}
+		dt := time.Since(t0)
+		if dt >= 2*time.Millisecond {
+			_ = accepted
+			return dt.Seconds() / float64(iters) / float64(batches*hostk.MACWidth)
+		}
+		iters *= 4
+	}
+}
+
+// WithKernelCost returns a copy of h with the kernel-dependent
+// coefficients replaced by measured values: VisitCoeff (the per-node
+// opening test the batched MAC accelerates) and P2PCoeff (the host's
+// per-interaction force cost). Build, walk-list and per-particle
+// coefficients — dominated by memory traffic, not kernel arithmetic —
+// are kept from h.
+func (h HostModel) WithKernelCost(c KernelCost) HostModel {
+	h.VisitCoeff = c.MACSeconds
+	h.P2PCoeff = c.P2PSeconds
+	return h
+}
+
+// HostForceSeconds returns the modelled host time to evaluate the given
+// pairwise interaction count on the host itself — the term that prices
+// host-engine runs and the guard's fallback batches. Zero until a
+// measured P2PCoeff is set: the DS10 calibration predates the batched
+// kernels and deliberately does not include a host force term (on the
+// paper's system the hardware computes all forces).
+func (h HostModel) HostForceSeconds(interactions int64) float64 {
+	return h.P2PCoeff * float64(interactions)
+}

@@ -32,7 +32,7 @@ func (e *ScheduleEngine) System() *g5.System { return e.sys }
 func (e *ScheduleEngine) Accumulate(req *core.Request) {
 	e.mu.Lock()
 	//lint:ignore g5contract perf replays schedules through the timing model; ChargeOnly is its charter
-	e.sys.ChargeOnly(len(req.IPos), len(req.JPos))
+	e.sys.ChargeOnly(len(req.IPos), req.J.N)
 	e.mu.Unlock()
 }
 

@@ -15,12 +15,14 @@ func TestScheduleEngineCounts(t *testing.T) {
 	sys.SetScale(-10, 10)
 	e := NewScheduleEngine(sys)
 	req := &core.Request{
-		IPos:  make([]vec.V3, 5),
-		JPos:  make([]vec.V3, 7),
-		JMass: make([]float64, 7),
-		Acc:   make([]vec.V3, 5),
-		Pot:   make([]float64, 5),
+		IPos: make([]vec.V3, 5),
+		Acc:  make([]vec.V3, 5),
+		Pot:  make([]float64, 5),
 	}
+	for j := 0; j < 7; j++ {
+		req.J.Append(float64(j), 0, 0, 1)
+	}
+	req.J.Pad()
 	e.Accumulate(req)
 	if c := e.System().Counters(); c.Interactions != 35 {
 		t.Errorf("interactions = %d, want 35", c.Interactions)

@@ -75,6 +75,54 @@ func TestStepAllocs(t *testing.T) {
 		allocs, bytesPerStep, budget, seedBytesPerStep/10)
 }
 
+// TestStepAllocsGuarded extends the allocation gate to the guarded
+// GRAPE path: the SoA request staging (walk J-list, guard's probe
+// reference and AoS gather scratch, engine readback buffers) must all
+// reach steady state. The guard adds per-batch probe work but no
+// per-batch allocation: everything lives in pooled or mu-guarded
+// scratch that grows once and is reused.
+func TestStepAllocsGuarded(t *testing.T) {
+	const n = 4096
+	sys := allocTestSystem(n)
+	sim, err := NewSimulation(sys, Config{
+		DT: 1e-3, G: 1, Eps: 0.01, Ncrit: 256, Workers: 2,
+		Engine: EngineGRAPE5, Guard: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Prime(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := sim.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var bytes int64
+	allocs := testing.AllocsPerRun(5, func() {
+		if err := sim.Step(); err != nil {
+			t.Fatal(err)
+		}
+		bytes += sim.LastReport.BytesAlloc
+	})
+	bytesPerStep := bytes / 6
+	// The emulated hardware's own staging dominates the residue; the
+	// budget pins the guarded step at the same order as the host step
+	// (a per-batch or per-particle leak at n=4096 would add >100 KB).
+	const byteBudget = 64_000
+	if bytesPerStep > byteBudget {
+		t.Fatalf("guarded steady-state Step allocates %d bytes, budget %d", bytesPerStep, byteBudget)
+	}
+	const budget = 300
+	if allocs > budget {
+		t.Fatalf("guarded steady-state Step allocates %.0f objects/run, budget %d", allocs, budget)
+	}
+	t.Logf("guarded steady-state Step: %.1f allocs/run, %d bytes/step (budgets %d, %d)",
+		allocs, bytesPerStep, budget, byteBudget)
+}
+
 // TestStepReportBytesAlloc checks that the telemetry layer reports the
 // per-step allocation counter and that it is sane in steady state.
 func TestStepReportBytesAlloc(t *testing.T) {

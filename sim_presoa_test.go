@@ -1,0 +1,194 @@
+package grape5
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"repro/internal/g5"
+)
+
+// presoaGoldenPath holds per-step trajectory hashes recorded at the
+// revision immediately before the SoA host-kernel rewrite (PR 7).  The
+// SoA kernels promise bitwise-identical results to the retired scalar
+// loops, so these hashes must never change: a mismatch means the
+// batched MAC walk or the P2P tile kernel altered a floating-point
+// operation or the j-list emission order.
+//
+// Regenerate (only when intentionally changing the force arithmetic,
+// which requires a DESIGN.md §13 amendment):
+//
+//	REGEN_PRESOA=1 go test -run TestTrajectoryMatchesPreSoASeed .
+const presoaGoldenPath = "testdata/presoa_trajectories.json"
+
+type presoaCase struct {
+	Name       string   `json:"name"`
+	StepHashes []string `json:"step_hashes"`
+}
+
+type presoaGolden struct {
+	// Arch records the architecture the hashes were produced on. The
+	// comparison is skipped elsewhere: FMA contraction on arm64/ppc64
+	// would legitimately change low-order bits.
+	Arch  string       `json:"arch"`
+	Cases []presoaCase `json:"cases"`
+}
+
+// presoaConfigs returns the named scenarios pinned by the golden file:
+// a pure host-engine run (the SoA P2P + batched-MAC walk), a guarded
+// run whose only board dies on the first call (every batch goes through
+// the guard's reference check and the host fallback), and a two-board
+// run that loses one board mid-run (probe verification, bisection and
+// partial hardware service stay live).
+func presoaConfigs() []struct {
+	name  string
+	n     int
+	seed  uint64
+	steps int
+	cfg   Config
+} {
+	deadCfg := g5.DefaultConfig()
+	deadCfg.Boards = 1
+	deadCfg.Fault = &g5.FaultModel{Seed: 9, FailBoard: 1, FailAfterRuns: 0, FailSlot: 3}
+	lossCfg := g5.DefaultConfig()
+	lossCfg.Fault = &g5.FaultModel{Seed: 3, FailBoard: 2, FailAfterRuns: 40, FailSlot: 7}
+	return []struct {
+		name  string
+		n     int
+		seed  uint64
+		steps int
+		cfg   Config
+	}{
+		{
+			name: "host-engine", n: 600, seed: 11, steps: 8,
+			cfg: Config{
+				Theta: 0.7, Ncrit: 96, G: 1, Eps: 0.02, DT: 0.002,
+				Engine: EngineHost, Workers: 4,
+			},
+		},
+		{
+			name: "guarded-all-boards-lost", n: 400, seed: 6, steps: 8,
+			cfg: Config{
+				Theta: 0.6, Ncrit: 64, G: 1, Eps: 0.05, DT: 0.005,
+				Engine: EngineGRAPE5, GRAPE: deadCfg, Guard: true,
+				GuardPolicy: g5.GuardPolicy{MaxRetries: 1, FallbackAfter: 1},
+			},
+		},
+		{
+			name: "guarded-board-loss", n: 800, seed: 5, steps: 12,
+			cfg: Config{
+				Theta: 0.6, Ncrit: 64, G: 1, Eps: 0.05, DT: 0.005,
+				Engine: EngineGRAPE5, GRAPE: lossCfg, Guard: true,
+			},
+		},
+	}
+}
+
+// presoaRun executes one scenario and returns the per-step state hash
+// (positions then velocities, little-endian float64 bits, in particle
+// order — the integrator never reorders particles).
+func presoaRun(t *testing.T, n int, seed uint64, steps int, cfg Config) []string {
+	t.Helper()
+	sim, err := NewSimulation(Plummer(n, 1, 1, 1, seed), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Prime(); err != nil {
+		t.Fatal(err)
+	}
+	hashes := make([]string, 0, steps)
+	buf := make([]byte, 8)
+	for k := 0; k < steps; k++ {
+		if err := sim.Step(); err != nil {
+			t.Fatal(err)
+		}
+		h := sha256.New()
+		// Hash the IEEE-754 bit patterns, not numeric values: the
+		// comparison must distinguish -0 from +0.
+		put := func(v float64) {
+			binary.LittleEndian.PutUint64(buf, math.Float64bits(v))
+			h.Write(buf)
+		}
+		for i := range sim.Sys.Pos {
+			p, v := sim.Sys.Pos[i], sim.Sys.Vel[i]
+			put(p.X)
+			put(p.Y)
+			put(p.Z)
+			put(v.X)
+			put(v.Y)
+			put(v.Z)
+		}
+		hashes = append(hashes, hex.EncodeToString(h.Sum(nil)))
+	}
+	return hashes
+}
+
+// TestTrajectoryMatchesPreSoASeed replays the pinned scenarios and
+// asserts every per-step state hash matches the pre-SoA recording.
+func TestTrajectoryMatchesPreSoASeed(t *testing.T) {
+	if runtime.GOARCH != "amd64" {
+		t.Skipf("golden hashes recorded on amd64; %s may contract FMAs differently", runtime.GOARCH)
+	}
+	if os.Getenv("REGEN_PRESOA") != "" {
+		regenPreSoA(t)
+		return
+	}
+	data, err := os.ReadFile(presoaGoldenPath)
+	if err != nil {
+		t.Fatalf("reading golden file (REGEN_PRESOA=1 to create): %v", err)
+	}
+	var golden presoaGolden
+	if err := json.Unmarshal(data, &golden); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string][]string{}
+	for _, c := range golden.Cases {
+		want[c.Name] = c.StepHashes
+	}
+	for _, sc := range presoaConfigs() {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			wantHashes, ok := want[sc.name]
+			if !ok {
+				t.Fatalf("scenario %q missing from %s (REGEN_PRESOA=1 to refresh)", sc.name, presoaGoldenPath)
+			}
+			got := presoaRun(t, sc.n, sc.seed, sc.steps, sc.cfg)
+			if len(got) != len(wantHashes) {
+				t.Fatalf("ran %d steps, golden has %d", len(got), len(wantHashes))
+			}
+			for k := range got {
+				if got[k] != wantHashes[k] {
+					t.Fatalf("step %d: trajectory hash %s != pre-SoA golden %s (force arithmetic or j-list order changed)",
+						k, got[k][:16], wantHashes[k][:16])
+				}
+			}
+		})
+	}
+}
+
+// regenPreSoA rewrites the golden file from the current build.
+func regenPreSoA(t *testing.T) {
+	golden := presoaGolden{Arch: runtime.GOARCH}
+	for _, sc := range presoaConfigs() {
+		hashes := presoaRun(t, sc.n, sc.seed, sc.steps, sc.cfg)
+		golden.Cases = append(golden.Cases, presoaCase{Name: sc.name, StepHashes: hashes})
+		t.Logf("recorded %s: %d steps, final %s…", sc.name, len(hashes), hashes[len(hashes)-1][:16])
+	}
+	if err := os.MkdirAll(filepath.Dir(presoaGoldenPath), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.MarshalIndent(golden, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(presoaGoldenPath, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", presoaGoldenPath)
+}
