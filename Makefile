@@ -3,7 +3,7 @@
 GO  ?= go
 BIN := bin
 
-.PHONY: all build test race lint bench-smoke bench-alloc bench-host ckpt-e2e clean
+.PHONY: all build test race lint bench-smoke bench-alloc bench-host ckpt-e2e serve-e2e clean
 
 all: build test lint
 
@@ -66,6 +66,16 @@ $(BIN)/benchdiff: $(wildcard cmd/benchdiff/*.go)
 ckpt-e2e:
 	$(GO) test -count=1 -race -run 'TestE2E' ./cmd/grape5sim ./cmd/simrun
 	$(GO) test -count=1 -run 'TestEveryBitFlipDetected|TestEveryTruncationDetected|TestLatestValid' ./internal/ckpt
+
+# serve-e2e gates the multi-tenant job server (DESIGN.md §14): fair
+# completion order, explicit 429 backpressure, bitwise result identity
+# vs standalone runs, the SSE/cancellation soak with its goroutine-leak
+# budget — all under the race detector — plus the daemon-level
+# SIGKILL/restart resume through the real simd binary, and the wire
+# schema and validator tests.
+serve-e2e:
+	$(GO) test -count=1 -race -run 'TestE2E|TestSoak' ./internal/serve ./cmd/simd
+	$(GO) test -count=1 -run 'TestDecodeJobRequest|SchemaGolden' ./internal/serve
 
 clean:
 	rm -rf $(BIN)

@@ -1,0 +1,126 @@
+// Command simd is the multi-tenant simulation job daemon: it serves the
+// internal/serve HTTP API, multiplexing concurrent treecode jobs onto a
+// bounded board pool with per-tenant fair scheduling, and persists
+// every job through the checkpoint layer so a killed daemon resumes
+// in-flight work on restart, bitwise identical to an uninterrupted run.
+//
+// Shutdown contract: SIGINT/SIGTERM drains — running jobs checkpoint
+// their exact state and the process exits 0; a SIGKILL loses nothing
+// beyond the steps since each job's last periodic checkpoint.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// parseWeights parses "a=2,b=1" into a tenant-weight map.
+func parseWeights(s string) (map[string]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	m := make(map[string]int)
+	for _, part := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("weight %q: want tenant=weight", part)
+		}
+		w, err := strconv.Atoi(val)
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("weight %q: want a positive integer", part)
+		}
+		m[name] = w
+	}
+	return m, nil
+}
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:0", "listen address (port 0 picks a free port)")
+		data       = flag.String("data", "", "persistence directory (empty: in-memory, jobs do not survive restarts)")
+		boards     = flag.Int("boards", 4, "board pool shared by running grape5 jobs")
+		maxRunning = flag.Int("max-running", 2, "concurrently running jobs")
+		maxN       = flag.Int("max-n", 100000, "largest admissible particle count")
+		maxSteps   = flag.Int("max-steps", 10000, "largest admissible step count")
+		queue      = flag.Int("queue", 8, "per-tenant queue bound")
+		queueTotal = flag.Int("queue-total", 64, "total queue bound")
+		ckptEvery  = flag.Int("ckpt-every", 25, "periodic checkpoint cadence in steps")
+		retryAfter = flag.Duration("retry-after", time.Second, "backoff hint on 429 responses")
+		weights    = flag.String("weights", "", "tenant scheduling weights, e.g. a=2,b=1")
+		drainWait  = flag.Duration("drain-wait", 30*time.Second, "max wait for running jobs to checkpoint on shutdown")
+	)
+	flag.Parse()
+	if err := run(*addr, *data, serve.Budget{
+		MaxParticles:       *maxN,
+		MaxSteps:           *maxSteps,
+		MaxRunning:         *maxRunning,
+		Boards:             *boards,
+		MaxQueuedPerTenant: *queue,
+		MaxQueueTotal:      *queueTotal,
+		RetryAfter:         *retryAfter,
+		CkptEvery:          *ckptEvery,
+	}, *weights, *drainWait); err != nil {
+		fmt.Fprintln(os.Stderr, "simd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, data string, budget serve.Budget, weights string, drainWait time.Duration) error {
+	tw, err := parseWeights(weights)
+	if err != nil {
+		return err
+	}
+	budget.TenantWeights = tw
+	logger := log.New(os.Stderr, "simd: ", log.LstdFlags)
+	srv, err := serve.NewServer(serve.Options{
+		Budget:  budget,
+		DataDir: data,
+		Logf:    logger.Printf,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	// The supervisor (and the e2e harness) parses this line for the
+	// bound address; keep it first and stable.
+	fmt.Printf("listening on http://%s\n", ln.Addr())
+
+	hs := &http.Server{Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	logger.Printf("draining: checkpointing running jobs")
+	drainCtx, cancel := context.WithTimeout(context.Background(), drainWait)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		logger.Printf("drain incomplete: %v", err)
+	}
+	if err := hs.Shutdown(drainCtx); err != nil {
+		hs.Close()
+	}
+	fmt.Println("drained: state saved")
+	return nil
+}

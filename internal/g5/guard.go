@@ -59,21 +59,21 @@ func (p GuardPolicy) withDefaults() GuardPolicy {
 type Recovery struct {
 	// Checks is the number of acceptance checks run (one per hardware
 	// attempt that produced a result).
-	Checks int64
+	Checks int64 `json:"checks"`
 	// Retries is the number of transient-failure retries.
-	Retries int64
+	Retries int64 `json:"retries"`
 	// CorruptResults is the number of hardware results rejected by the
 	// acceptance check.
-	CorruptResults int64
+	CorruptResults int64 `json:"corrupt_results"`
 	// ExcludedBoards is the number of boards diagnosed bad and taken
 	// out of service (including a final abandon-all).
-	ExcludedBoards int64
+	ExcludedBoards int64 `json:"excluded_boards"`
 	// FallbackBatches is the number of batches computed by the host
 	// fallback engine.
-	FallbackBatches int64
+	FallbackBatches int64 `json:"fallback_batches"`
 	// HostOnly reports that the hardware has been abandoned entirely:
 	// every subsequent batch goes straight to the host engine.
-	HostOnly bool
+	HostOnly bool `json:"host_only"`
 }
 
 // String formats the counters for run reports.

@@ -26,6 +26,24 @@ type PhaseSeconds struct {
 	Checkpoint float64 `json:"checkpoint,omitempty"`
 }
 
+// Add accumulates q into p, phase by phase. Long-lived drivers (the
+// job server's per-job totals, multi-step roll-ups) fold each completed
+// step's breakdown into a running sum with it; a new phase added to the
+// struct must be added here too (the reflection test in report_test.go
+// enforces that).
+func (p *PhaseSeconds) Add(q PhaseSeconds) {
+	p.MortonSort += q.MortonSort
+	p.TreeBuild += q.TreeBuild
+	p.GroupWalk += q.GroupWalk
+	p.ForceEval += q.ForceEval
+	p.Guard += q.Guard
+	p.JTransfer += q.JTransfer
+	p.ITransfer += q.ITransfer
+	p.Pipeline += q.Pipeline
+	p.Readback += q.Readback
+	p.Checkpoint += q.Checkpoint
+}
+
 // StepReport is the structured telemetry of one simulation step — the
 // paper's time-balance row plus the activity counters behind it.
 type StepReport struct {

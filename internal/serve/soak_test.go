@@ -1,0 +1,137 @@
+package serve_test
+
+// Scheduler + SSE + cancellation soak under goroutine churn. Run with
+// -race (make serve-e2e does) this is the data-race net over the whole
+// concurrency surface; the before/after goroutine budget catches leaked
+// runners, stuck SSE handlers and forgotten subscribers.
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// watchEvents subscribes to a job's SSE stream and reads it to the end
+// (or until ctx cancels — the early-disconnect case the hub must
+// tolerate without leaking its subscriber).
+func watchEvents(ctx context.Context, url string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("events: status %d", resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 64<<10)
+	for sc.Scan() {
+	}
+	return nil
+}
+
+func TestSoakConcurrencyAndGoroutineBudget(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	func() {
+		e := newTestServer(t, serve.Options{
+			Budget: serve.Budget{
+				MaxRunning:         2,
+				MaxQueuedPerTenant: 16,
+				MaxQueueTotal:      64,
+			},
+		})
+		const (
+			nTenants  = 6
+			perTenant = 4
+		)
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		var ids []string
+		for tn := 0; tn < nTenants; tn++ {
+			wg.Add(1)
+			go func(tn int) {
+				defer wg.Done()
+				for k := 0; k < perTenant; k++ {
+					st := e.mustSubmit(t, jobBody(fmt.Sprintf("t%d", tn), 48, 4))
+					mu.Lock()
+					ids = append(ids, st.ID)
+					mu.Unlock()
+
+					// Two SSE watchers per job: one reads to the end, one
+					// disconnects early.
+					wg.Add(2)
+					go func(id string) {
+						defer wg.Done()
+						if err := watchEvents(context.Background(), e.url("/jobs/"+id+"/events")); err != nil {
+							t.Errorf("watcher %s: %v", id, err)
+						}
+					}(st.ID)
+					go func(id string) {
+						defer wg.Done()
+						ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+						defer cancel()
+						// Early disconnect is the point; a context error is fine.
+						_ = watchEvents(ctx, e.url("/jobs/"+id+"/events"))
+					}(st.ID)
+				}
+			}(tn)
+		}
+		wg.Wait()
+
+		// Cancel every third job (some queued, some running, some done —
+		// cancellation must be clean in all three).
+		for i, id := range ids {
+			if i%3 == 0 {
+				resp, err := http.Post(e.url("/jobs/"+id+"/cancel"), "", nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				resp.Body.Close()
+			}
+		}
+		for _, id := range ids {
+			st := e.waitTerminal(t, id, 120*time.Second)
+			if st.State == serve.StateFailed {
+				t.Errorf("job %s failed: %s", id, st.Error)
+			}
+		}
+		// Cleanup (server close, SSE teardown) runs via t.Cleanup when
+		// this closure's testServer goes out of scope... but Cleanup runs
+		// at test end, after the budget check — so close explicitly here.
+		if err := e.srv.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+		e.ts.Close()
+	}()
+
+	// Everything the soak spawned must unwind. Poll: handler goroutines
+	// finish asynchronously after Close returns.
+	const slack = 6
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		after := runtime.NumGoroutine()
+		if after <= before+slack {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: %d before, %d after (+%d slack)\n%s",
+				before, after, slack, buf[:n])
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

@@ -1,0 +1,95 @@
+package serve
+
+import (
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// Event is one SSE frame's JSON payload: the job's identity and state
+// plus, for step events, the completed step's telemetry.
+type Event struct {
+	Job   string `json:"job"`
+	State string `json:"state"`
+	Step  int64  `json:"step"`
+	// Report is the completed step's telemetry (absent on pure
+	// state-change events).
+	Report *obs.StepReport `json:"report,omitempty"`
+}
+
+// subChanCap bounds each subscriber's buffer; a slow consumer loses the
+// oldest frames, never stalls the stepping loop.
+const subChanCap = 32
+
+// hub fans one job's event stream out to any number of SSE subscribers.
+// Publishing never blocks: the runner is the simulation's hot loop, and
+// a stalled TCP connection must not slow physics. Closed hubs hand new
+// subscribers a pre-closed channel, so "subscribe after done" degrades
+// to an immediate final-status frame.
+type hub struct {
+	mu     sync.Mutex
+	subs   map[chan []byte]struct{}
+	closed bool
+}
+
+func newHub() *hub {
+	return &hub{subs: make(map[chan []byte]struct{})}
+}
+
+// subscribe registers a new subscriber channel.
+func (h *hub) subscribe() chan []byte {
+	ch := make(chan []byte, subChanCap)
+	h.mu.Lock()
+	if h.closed {
+		close(ch)
+	} else {
+		h.subs[ch] = struct{}{}
+	}
+	h.mu.Unlock()
+	return ch
+}
+
+// unsubscribe removes a subscriber; safe after close.
+func (h *hub) unsubscribe(ch chan []byte) {
+	h.mu.Lock()
+	if _, ok := h.subs[ch]; ok {
+		delete(h.subs, ch)
+	}
+	h.mu.Unlock()
+}
+
+// publish delivers a frame to every subscriber, dropping the oldest
+// buffered frame of any subscriber that has fallen subChanCap behind.
+func (h *hub) publish(frame []byte) {
+	h.mu.Lock()
+	for ch := range h.subs {
+		select {
+		case ch <- frame:
+		default:
+			select {
+			case <-ch:
+			default:
+			}
+			select {
+			case ch <- frame:
+			default:
+			}
+		}
+	}
+	h.mu.Unlock()
+}
+
+// close terminates the stream: every subscriber's channel closes (its
+// handler then emits the final status frame) and future subscribers get
+// a pre-closed channel.
+func (h *hub) close() {
+	h.mu.Lock()
+	if !h.closed {
+		h.closed = true
+		for ch := range h.subs {
+			close(ch)
+			delete(h.subs, ch)
+		}
+	}
+	h.mu.Unlock()
+}

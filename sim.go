@@ -404,6 +404,22 @@ func (sim *Simulation) Recovery() g5.Recovery {
 	return sim.baseRecovery.Add(live)
 }
 
+// Health snapshots the simulation's hardware serving state: shard and
+// board inventory with guard exclusions and recovery counters (see
+// g5.Health). Host-engine simulations report a zero inventory that is
+// never degraded. Call it between steps — it must not race with Step.
+func (sim *Simulation) Health() g5.Health {
+	switch {
+	case sim.cluster != nil:
+		return sim.cluster.Health()
+	case sim.guard != nil:
+		return sim.guard.Health()
+	case sim.hw != nil:
+		return sim.hw.Health()
+	}
+	return g5.Health{}
+}
+
 // FaultStats returns the injected-fault activity counters, or a zero
 // value without fault injection. Totals are whole-run across restarts.
 func (sim *Simulation) FaultStats() g5.FaultStats {
