@@ -3,7 +3,7 @@
 GO  ?= go
 BIN := bin
 
-.PHONY: all build test race lint bench-smoke bench-alloc bench-host ckpt-e2e serve-e2e clean
+.PHONY: all build test race lint lint-escape lint-escape-baseline bench-smoke bench-alloc bench-host ckpt-e2e serve-e2e clean
 
 all: build test lint
 
@@ -19,12 +19,23 @@ race:
 $(BIN)/grapelint: $(wildcard cmd/grapelint/*.go) $(wildcard internal/lint/*.go)
 	$(GO) build -o $@ ./cmd/grapelint
 
-# lint runs the domain-invariant analyzer suite (DESIGN.md §10) both
-# standalone and through the go vet driver, so the vettool protocol
-# stays exercised.
+# lint runs the domain-invariant analyzer suite (DESIGN.md §10, §15)
+# both standalone (with stale-suppression detection) and through the go
+# vet driver, so the vettool protocol stays exercised.
 lint: $(BIN)/grapelint
-	$(BIN)/grapelint ./...
+	$(BIN)/grapelint -unused-ignores ./...
 	$(GO) vet -vettool=$(abspath $(BIN)/grapelint) ./...
+
+# lint-escape compares the compiler's escape-analysis inventory
+# (-gcflags=-m) for the hot packages against the committed baseline, so
+# a change that silently moves an arena allocation to the heap fails
+# before the allocation gates do. Rebuild the baseline with
+# lint-escape-baseline after an intentional change.
+lint-escape: $(BIN)/grapelint
+	$(BIN)/grapelint -escapes
+
+lint-escape-baseline: $(BIN)/grapelint
+	$(BIN)/grapelint -escapes -write
 
 # bench-smoke mirrors the CI bench job: a small sweep plus schema
 # validation of the fresh and committed bench records.

@@ -53,6 +53,7 @@ func (tc *Treecode) ComputeForcesOriginalOnEngine(s *nbody.System) (*Stats, erro
 			break
 		}
 		wg.Add(1)
+		//lint:ignore hotalloc reference-path worker spawn: one closure and scratch buffer per worker; the original engine is the conformance oracle, not the production hot path
 		go func(lo, hi int) {
 			defer wg.Done()
 			local := Stats{MinList: -1}

@@ -150,6 +150,7 @@ type Treecode struct {
 func (tc *Treecode) ensureWorkerScratch(workers int) {
 	for len(tc.bufs) < workers {
 		w := len(tc.bufs)
+		//lint:ignore hotalloc per-worker scratch allocated once when the worker set grows, then reused by every later step (arena setup, not steady state)
 		tc.bufs = append(tc.bufs, &listBuf{})
 		tc.labelCtxs = append(tc.labelCtxs, pprof.WithLabels(context.Background(),
 			pprof.Labels("treecode", "group-walk", "worker", strconv.Itoa(w))))
@@ -280,6 +281,7 @@ func (tc *Treecode) runWalkWorker(w int, s *nbody.System, tree *octree.Tree,
 func (tc *Treecode) walkWorker(buf *listBuf, s *nbody.System, tree *octree.Tree,
 	groups []octree.Group, mac octree.OpenCriterion, o Options, stats *Stats) {
 	local := Stats{MinList: -1}
+	var req Request // hoisted: &req must not escape a loop iteration
 	for {
 		gi := int(tc.groupCursor.Add(1)) - 1
 		if gi >= len(groups) {
@@ -309,7 +311,7 @@ func (tc *Treecode) walkWorker(buf *listBuf, s *nbody.System, tree *octree.Tree,
 		}
 
 		tc0 := time.Now()
-		req := Request{
+		req = Request{
 			IPos: s.Pos[g.Start : g.Start+g.Count],
 			J:    buf.J,
 			Acc:  s.Acc[g.Start : g.Start+g.Count],
@@ -445,6 +447,7 @@ func (tc *Treecode) ComputeForcesOriginal(s *nbody.System) (*Stats, error) {
 			break
 		}
 		wg.Add(1)
+		//lint:ignore hotalloc bounded worker-spawn loop: one closure per worker per call, amortized over O(n/workers) particle walks; the runtime alloc gates cover this path
 		go func(lo, hi int) {
 			defer wg.Done()
 			var local Stats
@@ -584,6 +587,7 @@ func (tc *Treecode) CountOriginal(s *nbody.System) (int64, error) {
 			break
 		}
 		wg.Add(1)
+		//lint:ignore hotalloc bounded worker-spawn loop: one closure per worker per count pass, amortized over the particle range
 		go func(w, lo, hi int) {
 			defer wg.Done()
 			stack := make([]int32, 0, 256)

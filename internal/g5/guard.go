@@ -166,6 +166,7 @@ func (e *GuardedEngine) Accumulate(req *core.Request) {
 		e.fallback(req)
 		return
 	}
+	//lint:ignore lockdiscipline the engine mutex serializes batches by contract: retry, backoff and bisection state must stay coherent across a recovery episode, and stalling the job's own walk workers during hardware recovery is intended backpressure
 	if e.tryHardware(req) {
 		e.consecFallback = 0
 		return

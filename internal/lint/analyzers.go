@@ -1,6 +1,8 @@
 package lint
 
-// All returns the full analyzer suite in stable order.
+// All returns the full analyzer suite in stable order: the per-function
+// AST checks from the physics era first, then the dataflow analyzers
+// (built on the shared Flow fact store) from the service era.
 func All() []*Analyzer {
 	return []*Analyzer{
 		AnalyzerNondeterminism,
@@ -9,5 +11,10 @@ func All() []*Analyzer {
 		AnalyzerObsSpan,
 		AnalyzerErrDiscipline,
 		AnalyzerHostK,
+		AnalyzerLockDiscipline,
+		AnalyzerGoroutineJoin,
+		AnalyzerFPReduce,
+		AnalyzerWireSchema,
+		AnalyzerHotAlloc,
 	}
 }

@@ -1,0 +1,152 @@
+package lint
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file implements the hotalloc analyzer's ground-truth
+// cross-check: `grapelint -escapes` asks the compiler itself
+// (`go build -a -gcflags=-m`) which values in the hot packages escape
+// to the heap, and compares the inventory against a committed baseline
+// (internal/lint/escape_baseline.txt). The hotalloc analyzer flags
+// allocation *shapes* syntactically; the escape inventory pins the
+// compiler's verdict, so a new escape cannot slip in behind a
+// //lint:ignore, and a fixed escape must be harvested into the
+// baseline (-write) to keep it honest.
+//
+// Lines are normalized to (package, file, message) — positions are
+// stripped so unrelated edits that shift line numbers do not churn the
+// baseline, while a genuinely new escape (new message or higher count)
+// fails the comparison.
+
+// hotEscapePatterns are the package patterns the escape inventory
+// covers — the same hot set hotalloc analyzes.
+var hotEscapePatterns = []string{
+	"./internal/hostk", "./internal/octree", "./internal/core",
+}
+
+// HotEscapePatterns returns the package patterns `grapelint -escapes`
+// inventories by default.
+func HotEscapePatterns() []string { return append([]string(nil), hotEscapePatterns...) }
+
+// escapeLineRe matches one -m diagnostic: "file.go:12:3: message".
+var escapeLineRe = regexp.MustCompile(`^([^\s:]+\.go):\d+:\d+: (.+)$`)
+
+// EscapeInventory builds the compiler's escape inventory for the given
+// package patterns: a map from "pkg\tfile\tmessage" to occurrence
+// count. It runs `go build -a -gcflags=-m` (-a defeats the build
+// cache, which would otherwise swallow the diagnostics on a warm
+// tree; -m diagnostics are only emitted for packages named on the
+// command line).
+func EscapeInventory(moduleDir string, patterns []string) (map[string]int, error) {
+	args := append([]string{"build", "-a", "-gcflags=-m"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = moduleDir
+	cmd.Stdout = io.Discard
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	counts := map[string]int{}
+	pkg := ""
+	sc := bufio.NewScanner(&stderr)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if strings.HasPrefix(line, "# ") {
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "# "))
+			continue
+		}
+		m := escapeLineRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		msg := m[2]
+		if !strings.Contains(msg, "escapes to heap") && !strings.Contains(msg, "moved to heap") {
+			continue
+		}
+		counts[pkg+"\t"+filepath.Base(m[1])+"\t"+msg]++
+	}
+	return counts, nil
+}
+
+// FormatEscapes renders an inventory in the baseline file format:
+// "count<TAB>pkg<TAB>file<TAB>message", sorted, one per line.
+func FormatEscapes(counts map[string]int) string {
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString("# escape-analysis baseline for the hot packages (grapelint -escapes -write)\n")
+	b.WriteString("# count\tpackage\tfile\tmessage — positions stripped, counts matter\n")
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%d\t%s\n", counts[k], k)
+	}
+	return b.String()
+}
+
+// ParseEscapeBaseline parses the baseline file format back into an
+// inventory map.
+func ParseEscapeBaseline(data []byte) (map[string]int, error) {
+	counts := map[string]int{}
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	for lineNo := 1; sc.Scan(); lineNo++ {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		countStr, key, ok := strings.Cut(line, "\t")
+		if !ok {
+			return nil, fmt.Errorf("baseline line %d: no tab separator", lineNo)
+		}
+		n, err := strconv.Atoi(countStr)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("baseline line %d: bad count %q", lineNo, countStr)
+		}
+		counts[key] += n
+	}
+	return counts, nil
+}
+
+// DiffEscapes compares a fresh inventory against the baseline and
+// returns human-readable discrepancies: regressions (new or more
+// frequent escapes) and stale entries (fixed escapes still listed —
+// the baseline must be rewritten so it keeps meaning something).
+func DiffEscapes(current, baseline map[string]int) []string {
+	var diffs []string
+	keys := map[string]bool{}
+	for k := range current {
+		keys[k] = true
+	}
+	for k := range baseline {
+		keys[k] = true
+	}
+	sorted := make([]string, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+	for _, k := range sorted {
+		cur, base := current[k], baseline[k]
+		disp := strings.ReplaceAll(k, "\t", " ")
+		switch {
+		case cur > base:
+			diffs = append(diffs, fmt.Sprintf("new escape: %s (%d, baseline %d)", disp, cur, base))
+		case cur < base:
+			diffs = append(diffs, fmt.Sprintf("stale baseline entry: %s (%d, baseline %d) — rerun with -write", disp, cur, base))
+		}
+	}
+	return diffs
+}

@@ -1,0 +1,207 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerHotAlloc guards the arena contract (DESIGN.md §13): the
+// steady-state step pipeline in the hot packages (hostk, octree, core)
+// must not allocate. The runtime gates (TestStepAllocs,
+// TestBuildSteadyStateAllocs) catch regressions on the paths they
+// exercise; this analyzer catches the allocation *shapes* everywhere,
+// including rarely-taken branches the gates never reach:
+//
+//   - a composite literal taken by address inside a loop body (one heap
+//     object per iteration once it escapes);
+//   - a function literal inside a loop body (the closure and its
+//     captures allocate per iteration);
+//   - an append, inside a loop, to a local slice declared without
+//     capacity (`var s []T`, `s := []T{}`, two-argument make): growth
+//     reallocates on the hot path; pre-size or reuse a scratch buffer.
+//
+// Constructors (New*/new*) and init are exempt — setup-time allocation
+// is the arena idiom, not a violation. Findings are advisory shapes:
+// `grapelint -escapes` cross-checks the compiler's actual escape
+// analysis (-gcflags=-m) against a committed baseline, so a flagged
+// site that provably does not escape earns a //lint:ignore with that
+// reasoning.
+var AnalyzerHotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "flag per-iteration heap allocation shapes (escaping literals, closures, growing appends) in the hot packages",
+	Run:  runHotAlloc,
+}
+
+func hotallocScoped(path string) bool {
+	return path == hostkPath || path == octreePath || path == corePath
+}
+
+func runHotAlloc(pass *Pass) error {
+	if !hotallocScoped(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		parents := pass.Parents(file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			if !inLoopBody(parents, n) || hotallocExempt(parents, n) {
+				return true
+			}
+			switch n := n.(type) {
+			case *ast.UnaryExpr:
+				if n.Op != token.AND {
+					return true
+				}
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					pass.Reportf(n.Pos(), "composite literal taken by address in a loop body: one heap object per iteration if it escapes; hoist it out of the loop or reuse a scratch value (arena contract)")
+				}
+			case *ast.FuncLit:
+				pass.Reportf(n.Pos(), "function literal in a loop body: the closure and its captures allocate per iteration; hoist it to a named function or outside the loop")
+				return false // don't re-flag its interior against outer loops
+			case *ast.CallExpr:
+				if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "append" {
+					if _, isBuiltin := pass.Info.ObjectOf(id).(*types.Builtin); isBuiltin {
+						checkHotAppend(pass, parents, n)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// inLoopBody reports whether n is inside the body of a for/range
+// statement within its enclosing function (function boundaries reset
+// the loop context: a literal's body executes on the literal's
+// schedule, and the literal itself is what gets flagged).
+func inLoopBody(parents map[ast.Node]ast.Node, n ast.Node) bool {
+	for c, p := n, parents[n]; p != nil; c, p = p, parents[p] {
+		switch p := p.(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return false
+		case *ast.ForStmt:
+			if p.Body == c {
+				return true
+			}
+		case *ast.RangeStmt:
+			if p.Body == c {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// hotallocExempt reports whether n is inside a constructor or init:
+// New*/new* functions and init are setup-time by convention.
+func hotallocExempt(parents map[ast.Node]ast.Node, n ast.Node) bool {
+	for p := parents[n]; p != nil; p = parents[p] {
+		if decl, ok := p.(*ast.FuncDecl); ok {
+			name := decl.Name.Name
+			return strings.HasPrefix(name, "New") || strings.HasPrefix(name, "new") || name == "init"
+		}
+	}
+	return false
+}
+
+// checkHotAppend flags `x = append(x, ...)` in a loop when x is a local
+// slice declared without an explicit capacity.
+func checkHotAppend(pass *Pass, parents map[ast.Node]ast.Node, call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	target, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj, ok := pass.Info.ObjectOf(target).(*types.Var)
+	if !ok || obj.Pkg() == nil || obj.Parent() == obj.Pkg().Scope() {
+		return // package-level slices are setup-owned
+	}
+	decl := sliceDeclExpr(parents, target, obj)
+	if decl == declWithCapacity {
+		return
+	}
+	pass.Reportf(call.Pos(), "append in a loop to %s, declared without capacity: growth reallocates on the hot path; pre-size with make(len, cap) or reuse a scratch buffer (arena contract)", target.Name)
+}
+
+type sliceDecl int
+
+const (
+	declUnknown sliceDecl = iota
+	declNoCapacity
+	declWithCapacity
+)
+
+// sliceDeclExpr classifies how the local slice obj was declared, by
+// scanning the enclosing function for its defining ident. Unknown
+// shapes (parameters, struct fields via locals) are treated as
+// preallocated — the caller owns their capacity.
+func sliceDeclExpr(parents map[ast.Node]ast.Node, use *ast.Ident, obj *types.Var) sliceDecl {
+	fn := enclosingFunc(parents, use)
+	if fn == nil {
+		return declWithCapacity
+	}
+	var body *ast.BlockStmt
+	switch fn := fn.(type) {
+	case *ast.FuncDecl:
+		body = fn.Body
+	case *ast.FuncLit:
+		body = fn.Body
+	}
+	if body == nil {
+		return declWithCapacity
+	}
+	result := declWithCapacity
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				if name.Pos() != obj.Pos() {
+					continue
+				}
+				if len(n.Values) == 0 {
+					result = declNoCapacity // var s []T
+				} else if i < len(n.Values) {
+					result = classifyInit(n.Values[i])
+				}
+				return false
+			}
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Pos() != obj.Pos() {
+					continue
+				}
+				if len(n.Rhs) == len(n.Lhs) {
+					result = classifyInit(n.Rhs[i])
+				}
+				return false
+			}
+		}
+		return true
+	})
+	return result
+}
+
+// classifyInit classifies a slice initializer expression.
+func classifyInit(e ast.Expr) sliceDecl {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		if len(e.Elts) == 0 {
+			return declNoCapacity // s := []T{}
+		}
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok && id.Name == "make" {
+			if len(e.Args) < 3 {
+				return declNoCapacity // make([]T, n): no explicit capacity
+			}
+		}
+	}
+	return declWithCapacity
+}

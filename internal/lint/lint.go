@@ -53,7 +53,17 @@ type Pass struct {
 	Pkg      *types.Package
 	Info     *types.Info
 
+	// Flow is the package's shared dataflow fact store (call graph,
+	// blocking facts, goroutine spawns, json flows), built once per
+	// package and reused by every analyzer in the run.
+	Flow *Flow
+
 	diags *[]Diagnostic
+}
+
+// Parents returns the shared node→parent map for file.
+func (p *Pass) Parents(file *ast.File) map[ast.Node]ast.Node {
+	return p.Flow.Parents(file)
 }
 
 // Reportf records a finding at pos.
@@ -72,11 +82,32 @@ type Diagnostic struct {
 	Message  string
 }
 
+// UnusedIgnore is a //lint:ignore comment that suppressed nothing in a
+// run of the full suite — a stale suppression that should be deleted
+// before it hides a future regression.
+type UnusedIgnore struct {
+	Pos token.Pos
+	// Analyzers is the comma-separated name list as written.
+	Analyzers string
+}
+
 // Run applies the analyzers to each package and returns the surviving
 // findings (ignore comments applied), sorted by position.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	diags, _, err := RunDetail(pkgs, analyzers)
+	return diags, err
+}
+
+// RunDetail is Run plus stale-suppression detection: the second result
+// lists every //lint:ignore comment that matched no diagnostic. It is
+// only meaningful when the run covers the full analyzer suite — an
+// ignore for an analyzer that did not run looks unused.
+func RunDetail(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, []UnusedIgnore, error) {
 	var diags []Diagnostic
+	var unused []UnusedIgnore
 	for _, pkg := range pkgs {
+		var pkgDiags []Diagnostic
+		flow := NewFlow(pkg)
 		for _, a := range analyzers {
 			pass := &Pass{
 				Analyzer: a,
@@ -84,27 +115,40 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 				Files:    pkg.Files,
 				Pkg:      pkg.Types,
 				Info:     pkg.Info,
-				diags:    &diags,
+				Flow:     flow,
+				diags:    &pkgDiags,
 			}
 			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)
+				return nil, nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)
 			}
 		}
-		diags = applyIgnores(pkg, diags)
+		kept, stale := applyIgnores(pkg, pkgDiags)
+		diags = append(diags, kept...)
+		unused = append(unused, stale...)
 	}
 	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
-	return diags, nil
+	sort.Slice(unused, func(i, j int) bool { return unused[i].Pos < unused[j].Pos })
+	return diags, unused, nil
 }
 
 // ignoreRe matches "//lint:ignore name1,name2 reason..." — the reason
 // is mandatory, mirroring staticcheck's convention.
 var ignoreRe = regexp.MustCompile(`^//\s*lint:ignore\s+(\S+)\s+\S`)
 
+// ignoreEntry is one parsed //lint:ignore comment with its coverage.
+type ignoreEntry struct {
+	pos   token.Pos
+	raw   string // the analyzer-name list as written
+	names map[string]bool
+	keys  [2]string // "file:line" for own line and the next
+	used  bool
+}
+
 // applyIgnores drops findings covered by an ignore comment on the same
-// line or the line directly above.
-func applyIgnores(pkg *Package, diags []Diagnostic) []Diagnostic {
-	// line key "file:line" -> set of ignored analyzer names.
-	ignored := map[string]map[string]bool{}
+// line or the line directly above, and reports the comments that
+// covered nothing.
+func applyIgnores(pkg *Package, diags []Diagnostic) ([]Diagnostic, []UnusedIgnore) {
+	var entries []*ignoreEntry
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -113,37 +157,40 @@ func applyIgnores(pkg *Package, diags []Diagnostic) []Diagnostic {
 					continue
 				}
 				pos := pkg.Fset.Position(c.Pos())
-				names := map[string]bool{}
+				e := &ignoreEntry{pos: c.Pos(), raw: m[1], names: map[string]bool{}}
 				for _, n := range strings.Split(m[1], ",") {
-					names[n] = true
+					e.names[n] = true
 				}
 				// The comment covers its own line and the next one, so
 				// it works both inline and as a line above.
-				for _, line := range []int{pos.Line, pos.Line + 1} {
-					key := fmt.Sprintf("%s:%d", pos.Filename, line)
-					if ignored[key] == nil {
-						ignored[key] = map[string]bool{}
-					}
-					for n := range names {
-						ignored[key][n] = true
-					}
-				}
+				e.keys[0] = fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				e.keys[1] = fmt.Sprintf("%s:%d", pos.Filename, pos.Line+1)
+				entries = append(entries, e)
 			}
 		}
-	}
-	if len(ignored) == 0 {
-		return diags
 	}
 	kept := diags[:0]
 	for _, d := range diags {
 		pos := pkg.Fset.Position(d.Pos)
 		key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
-		if s := ignored[key]; s != nil && (s[d.Analyzer] || s["all"]) {
-			continue
+		suppressed := false
+		for _, e := range entries {
+			if (e.keys[0] == key || e.keys[1] == key) && (e.names[d.Analyzer] || e.names["all"]) {
+				e.used = true
+				suppressed = true
+			}
 		}
-		kept = append(kept, d)
+		if !suppressed {
+			kept = append(kept, d)
+		}
 	}
-	return kept
+	var unused []UnusedIgnore
+	for _, e := range entries {
+		if !e.used {
+			unused = append(unused, UnusedIgnore{Pos: e.pos, Analyzers: e.raw})
+		}
+	}
+	return kept, unused
 }
 
 // physicsPackages is the import-path set whose results must be
@@ -175,3 +222,14 @@ const g5Path = "repro/internal/g5"
 
 // rootPath is the module's root package (the public simulation API).
 const rootPath = "repro"
+
+// servePath is the multi-tenant job server; the concurrency analyzers
+// and wireschema key on it.
+const servePath = "repro/internal/serve"
+
+// ckptPath is the durable checkpoint store: its writes are blocking
+// I/O for lockdiscipline and its manifest is a wire schema.
+const ckptPath = "repro/internal/ckpt"
+
+// corePath is the treecode package, one of hotalloc's hot packages.
+const corePath = "repro/internal/core"

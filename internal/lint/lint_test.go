@@ -50,3 +50,42 @@ func TestHostKFixture(t *testing.T) {
 func TestHostKExemptsKernelPackage(t *testing.T) {
 	linttest.Run(t, "testdata/hostk_exempt", "repro/internal/hostk", lint.AnalyzerHostK)
 }
+
+func TestLockDisciplineFixture(t *testing.T) {
+	// lockdiscipline is not path-scoped; any fixture path works.
+	linttest.Run(t, "testdata/lockdiscipline", "repro/cmd/fixture", lint.AnalyzerLockDiscipline)
+}
+
+func TestGoroutineJoinFixture(t *testing.T) {
+	linttest.Run(t, "testdata/goroutinejoin", "repro/internal/pm", lint.AnalyzerGoroutineJoin)
+}
+
+func TestGoroutineJoinScopedToServiceAndPhysics(t *testing.T) {
+	linttest.Run(t, "testdata/goroutinejoin_scope", "repro/cmd/fixture", lint.AnalyzerGoroutineJoin)
+}
+
+func TestFPReduceFixture(t *testing.T) {
+	linttest.Run(t, "testdata/fpreduce", "repro/internal/pm", lint.AnalyzerFPReduce)
+}
+
+func TestFPReduceSanctionedHelpers(t *testing.T) {
+	// Under the obs import path, Observer.AddSeconds and
+	// PhaseSeconds.Add are designated merge points.
+	linttest.Run(t, "testdata/fpreduce_sanctioned", "repro/internal/obs", lint.AnalyzerFPReduce)
+}
+
+func TestWireSchemaFixture(t *testing.T) {
+	linttest.Run(t, "testdata/wireschema", "repro/internal/serve", lint.AnalyzerWireSchema)
+}
+
+func TestWireSchemaScopedToWirePackages(t *testing.T) {
+	linttest.Run(t, "testdata/wireschema_scope", "repro/internal/pm", lint.AnalyzerWireSchema)
+}
+
+func TestHotAllocFixture(t *testing.T) {
+	linttest.Run(t, "testdata/hotalloc", "repro/internal/core", lint.AnalyzerHotAlloc)
+}
+
+func TestHotAllocScopedToHotPackages(t *testing.T) {
+	linttest.Run(t, "testdata/hotalloc_scope", "repro/cmd/fixture", lint.AnalyzerHotAlloc)
+}

@@ -28,7 +28,7 @@ func runNondeterminism(pass *Pass) error {
 		return nil
 	}
 	for _, file := range pass.Files {
-		parents := buildParents(file)
+		parents := pass.Parents(file)
 		ast.Inspect(file, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.CallExpr:

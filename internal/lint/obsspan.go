@@ -29,7 +29,7 @@ const obsPath = "repro/internal/obs"
 
 func runObsSpan(pass *Pass) error {
 	for _, file := range pass.Files {
-		parents := buildParents(file)
+		parents := pass.Parents(file)
 		ast.Inspect(file, func(n ast.Node) bool {
 			fn, ok := n.(*ast.FuncDecl)
 			if !ok || fn.Body == nil {

@@ -12,8 +12,9 @@ import (
 const moduleRoot = "../.."
 
 // TestRepoIsLintClean runs the full analyzer suite over the module
-// in-process and requires zero findings: every invariant the analyzers
-// encode holds on the tree that defines them.
+// in-process and requires zero findings AND zero stale suppressions:
+// every invariant the analyzers encode holds on the tree that defines
+// them, and every //lint:ignore in the tree still earns its keep.
 func TestRepoIsLintClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("type-checks the whole module; skipped in -short")
@@ -23,12 +24,16 @@ func TestRepoIsLintClean(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	diags, err := lint.Run(pkgs, lint.All())
+	diags, unused, err := lint.RunDetail(pkgs, lint.All())
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, d := range diags {
 		t.Errorf("%s: %s: %s", loader.Fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	for _, u := range unused {
+		t.Errorf("%s: stale //lint:ignore %s suppresses nothing; delete it",
+			loader.Fset.Position(u.Pos), u.Analyzers)
 	}
 }
 

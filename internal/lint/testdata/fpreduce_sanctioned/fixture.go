@@ -1,0 +1,37 @@
+// Package fixture confirms fpreduce's sanctioned-helper exemption:
+// loaded as repro/internal/obs, where Observer.AddSeconds and
+// PhaseSeconds.Add are the designated deterministic merge points — the
+// same accumulation outside them is still flagged.
+package fixture
+
+type Observer struct {
+	total float64
+}
+
+// AddSeconds is on the sanctioned list for repro/internal/obs.
+func (o *Observer) AddSeconds(m map[string]float64) {
+	for _, v := range m {
+		o.total += v
+	}
+}
+
+// Sum is not sanctioned, so the identical shape is flagged.
+func (o *Observer) Sum(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s += v // want "float accumulation inside a range over a map"
+	}
+	return s
+}
+
+type PhaseSeconds struct {
+	THost float64
+}
+
+// Add is sanctioned, including the literal it launches no goroutine
+// from — map ranges inside it are trusted merges.
+func (p *PhaseSeconds) Add(qs map[string]PhaseSeconds) {
+	for _, q := range qs {
+		p.THost += q.THost
+	}
+}

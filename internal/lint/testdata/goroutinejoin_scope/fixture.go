@@ -1,0 +1,10 @@
+// Package fixture confirms goroutinejoin's scope: a cmd package owns
+// its process lifetime and may park a watchdog goroutine forever, so
+// nothing here is flagged despite the missing join.
+package fixture
+
+func watchdog() {
+	go func() {
+		select {}
+	}()
+}

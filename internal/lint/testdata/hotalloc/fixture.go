@@ -1,0 +1,94 @@
+// Package fixture exercises the hotalloc analyzer: per-iteration
+// allocation shapes in a hot package. Loaded as repro/internal/core.
+package fixture
+
+type node struct {
+	next *node
+	val  int
+}
+
+func buildList(n int) *node {
+	var head *node
+	for i := 0; i < n; i++ {
+		head = &node{next: head, val: i} // want "composite literal taken by address in a loop body"
+	}
+	return head
+}
+
+// A value composite is a stack copy, not a heap object.
+func valueComposite(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		v := node{val: i}
+		total += v.val
+	}
+	return total
+}
+
+func closures(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		f := func() int { return i } // want "function literal in a loop body"
+		total += f()
+	}
+	return total
+}
+
+func growVar(n int) []int {
+	var xs []int
+	for i := 0; i < n; i++ {
+		xs = append(xs, i) // want "append in a loop to xs, declared without capacity"
+	}
+	return xs
+}
+
+func growEmptyLit(n int) []int {
+	xs := []int{}
+	for i := 0; i < n; i++ {
+		xs = append(xs, i) // want "append in a loop to xs, declared without capacity"
+	}
+	return xs
+}
+
+func growTwoArgMake(n int) []int {
+	xs := make([]int, 0)
+	for i := 0; i < n; i++ {
+		xs = append(xs, i) // want "append in a loop to xs, declared without capacity"
+	}
+	return xs
+}
+
+// Pre-sized appends never reallocate on the hot path.
+func presized(n int) []int {
+	xs := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		xs = append(xs, i)
+	}
+	return xs
+}
+
+// The caller owns a parameter's capacity.
+func fill(xs []int, n int) []int {
+	for i := 0; i < n; i++ {
+		xs = append(xs, i)
+	}
+	return xs
+}
+
+// Constructors are setup-time by convention.
+func newTable(n int) []*node {
+	var out []*node
+	for i := 0; i < n; i++ {
+		out = append(out, &node{val: i})
+	}
+	return out
+}
+
+// An allocation after the loop is not per-iteration.
+func afterLoop(n int) *node {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	return &node{val: total}
+}

@@ -1,0 +1,15 @@
+// Package fixture confirms hotalloc's scope: allocation shapes outside
+// the hot packages (here, a cmd package) are unconstrained.
+package fixture
+
+type item struct {
+	v int
+}
+
+func build(n int) []*item {
+	var out []*item
+	for i := 0; i < n; i++ {
+		out = append(out, &item{v: i})
+	}
+	return out
+}

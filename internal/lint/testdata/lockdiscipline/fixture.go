@@ -1,0 +1,148 @@
+// Package fixture exercises the lockdiscipline analyzer: mutexes held
+// across blocking operations (channels, sleeps, selects, transitive
+// in-package calls) and inconsistent acquisition order. The analyzer is
+// not path-scoped, so the fixture loads as repro/cmd/fixture.
+package fixture
+
+import (
+	"sync"
+	"time"
+)
+
+type box struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	cond *sync.Cond
+	ch   chan int
+	n    int
+}
+
+func (b *box) sendWhileHeld() {
+	b.mu.Lock()
+	b.ch <- 1 // want "held across channel send"
+	b.mu.Unlock()
+}
+
+func (b *box) recvWhileHeld() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	<-b.ch // want "held across channel receive"
+}
+
+func (b *box) sleepWhileHeld() {
+	b.mu.Lock()
+	time.Sleep(time.Millisecond) // want "held across time.Sleep"
+	b.mu.Unlock()
+}
+
+func (b *box) rlockWhileHeld() {
+	b.rw.RLock()
+	defer b.rw.RUnlock()
+	time.Sleep(time.Millisecond) // want "held across time.Sleep"
+}
+
+func (b *box) selectWhileHeld() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select { // want "held across select without default"
+	case v := <-b.ch:
+		b.n = v
+	case b.ch <- b.n:
+	}
+}
+
+// A select with a default is a non-blocking poll: fine under the lock.
+func (b *box) pollWhileHeld() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select {
+	case v := <-b.ch:
+		b.n = v
+	default:
+	}
+}
+
+// Releasing before blocking is the required shape.
+func (b *box) releaseFirst() {
+	b.mu.Lock()
+	n := b.n
+	b.mu.Unlock()
+	time.Sleep(time.Duration(n))
+}
+
+// sync.Cond.Wait releases the associated mutex while parked.
+func (b *box) condWait() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for b.n == 0 {
+		b.cond.Wait()
+	}
+}
+
+// napHelper blocks, so holding the lock across a call to it is the same
+// violation one level removed.
+func napHelper() {
+	time.Sleep(time.Millisecond)
+}
+
+func (b *box) transitive() {
+	b.mu.Lock()
+	napHelper() // want "held across call to napHelper, which blocks on time.Sleep"
+	b.mu.Unlock()
+}
+
+// A spawn hands the blocking work to another goroutine: not held.
+func (b *box) spawnWhileHeld() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	go napHelper()
+}
+
+// A deferred-closure unlock extends the span to the block end.
+func (b *box) deferredClosure() {
+	b.mu.Lock()
+	defer func() {
+		b.mu.Unlock()
+	}()
+	time.Sleep(time.Millisecond) // want "held across time.Sleep"
+}
+
+type pair struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+func (p *pair) forward() {
+	p.a.Lock()
+	p.b.Lock() // want "inconsistent lock order"
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+func (p *pair) backward() {
+	p.b.Lock()
+	p.a.Lock() // want "inconsistent lock order"
+	p.a.Unlock()
+	p.b.Unlock()
+}
+
+// consistent nests the same pair in the forward direction only — the
+// edge exists but participates in no cycle by itself.
+type other struct {
+	x sync.Mutex
+	y sync.Mutex
+}
+
+func (o *other) first() {
+	o.x.Lock()
+	o.y.Lock()
+	o.y.Unlock()
+	o.x.Unlock()
+}
+
+func (o *other) second() {
+	o.x.Lock()
+	o.y.Lock()
+	o.y.Unlock()
+	o.x.Unlock()
+}

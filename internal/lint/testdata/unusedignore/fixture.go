@@ -1,0 +1,18 @@
+// Package fixture feeds the stale-suppression detector: one ignore
+// that suppresses a real fpreduce finding, one that covers nothing.
+// Loaded as repro/internal/pm.
+package fixture
+
+var total float64
+
+func add(xs []float64) {
+	for _, x := range xs {
+		//lint:ignore fpreduce fixture: the accumulation is the point of this test
+		total += x
+	}
+}
+
+//lint:ignore fpreduce stale: suppresses nothing and must be reported
+func clean() int {
+	return 0
+}

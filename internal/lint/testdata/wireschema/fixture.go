@@ -1,0 +1,175 @@
+// Package fixture exercises the wireschema analyzer: json-tag
+// discipline and float-finiteness on structs that reach encoding/json.
+// Loaded as repro/internal/serve, a wire package.
+package fixture
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"time"
+
+	"repro/internal/octree"
+)
+
+// writeJSON mirrors the server's helper: the fixpoint must attribute
+// its v parameter back to the concrete types at call sites.
+func writeJSON(w io.Writer, v any) {
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// Resp reaches json only through writeJSON.
+type Resp struct {
+	Name  string `json:"name"`
+	Count int    // want "exported field Resp.Count has no json tag"
+}
+
+func handler(w io.Writer) {
+	writeJSON(w, &Resp{Name: "x"})
+}
+
+// Metric's Rate is fed an unguarded division: x/y can be NaN or Inf.
+type Metric struct {
+	Rate float64 `json:"rate"`
+}
+
+func build(x, y float64) Metric {
+	var m Metric
+	m.Rate = x / y // want "float field Metric.Rate can reach encoding/json carrying NaN or Inf"
+	return m
+}
+
+func emitMetric() []byte {
+	m := build(1, 2)
+	b, _ := json.Marshal(m)
+	return b
+}
+
+// Spec.Theta is witnessed: it flows through a finiteness guard.
+type Spec struct {
+	Theta float64 `json:"theta"`
+}
+
+func finite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}
+
+func validate(s Spec) bool {
+	return finite(s.Theta)
+}
+
+func setTheta(s *Spec, v float64) {
+	s.Theta = v
+}
+
+func emitSpec() []byte {
+	b, _ := json.Marshal(Spec{Theta: 0.5})
+	return b
+}
+
+// State polices its own fields in a guard method (the checkpoint
+// stateFinite pattern): every field it reads is witnessed.
+type State struct {
+	T float64 `json:"t"`
+}
+
+func (st *State) finiteAll() bool {
+	for _, v := range []float64{st.T} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+func setT(st *State, v float64) {
+	st.T = v
+}
+
+func emitState(v float64) []byte {
+	st := &State{}
+	setT(st, v)
+	if !st.finiteAll() {
+		return nil
+	}
+	b, _ := json.Marshal(st)
+	return b
+}
+
+// Report's floats come only from admissible sources: duration
+// conversions, integer conversions, sums and literal-denominator
+// division.
+type Report struct {
+	Wall float64 `json:"wall"`
+	N    float64 `json:"n"`
+	Half float64 `json:"half"`
+}
+
+func buildReport(d time.Duration, n int) Report {
+	return Report{
+		Wall: d.Seconds(),
+		N:    float64(n),
+		Half: float64(n) / 2,
+	}
+}
+
+func emitReport(d time.Duration, n int) []byte {
+	r := buildReport(d, n)
+	b, _ := json.Marshal(r)
+	return b
+}
+
+// Inbound is decode-only: inbound floats are the handler's problem,
+// not the encoder's.
+type Inbound struct {
+	Raw float64 `json:"raw"`
+}
+
+func parse(b []byte) (Inbound, error) {
+	var in Inbound
+	err := json.Unmarshal(b, &in)
+	return in, err
+}
+
+func setRaw(in *Inbound, v float64) {
+	in.Raw = v
+}
+
+// Skipped fields never reach the wire.
+type WithSkip struct {
+	Kept float64 `json:"kept"`
+	Temp float64 `json:"-"`
+}
+
+func buildSkip(n int, v float64) WithSkip {
+	var s WithSkip
+	s.Kept = float64(n)
+	s.Temp = v
+	return s
+}
+
+func emitSkip(v float64) []byte {
+	s := buildSkip(1, v)
+	b, _ := json.Marshal(s)
+	return b
+}
+
+// Custom marshals itself: its struct layout is not the wire shape.
+type Custom struct {
+	Weird float64
+}
+
+func (c Custom) MarshalJSON() ([]byte, error) {
+	return json.Marshal(c.Weird)
+}
+
+func emitCustom() []byte {
+	b, _ := json.Marshal(Custom{Weird: math.Inf(1)})
+	return b
+}
+
+// Snapshot embeds a cross-package repro type on the wire: its fields
+// must be tagged at their declaration.
+type Snapshot struct {
+	Group octree.Group `json:"group"` // want "untagged exported field Node" "untagged exported field Start" "untagged exported field Count"
+}

@@ -1,0 +1,15 @@
+// Package fixture confirms wireschema's scope: repro/internal/pm is
+// not a wire package, so an untagged marshaled struct is someone
+// else's problem (nothing here crosses a service boundary).
+package fixture
+
+import "encoding/json"
+
+type Dump struct {
+	Value float64
+}
+
+func emit(v float64) []byte {
+	b, _ := json.Marshal(Dump{Value: v})
+	return b
+}

@@ -212,6 +212,7 @@ func (j *Job) status() JobStatus {
 	st.Step = j.step.Load()
 	st.Interactions = j.interactions.Load()
 	if st.Steps > 0 {
+		//lint:ignore wireschema the denominator is guarded by the enclosing Steps > 0 branch (and Steps is validated positive at submit), which the structural finiteness grammar cannot see
 		st.Progress = float64(st.Step) / float64(st.Steps)
 	}
 	j.repMu.Lock()
