@@ -308,3 +308,55 @@ func TestE2ECompletedRunIsIdempotent(t *testing.T) {
 		t.Error("idempotent rerun changed the final snapshot")
 	}
 }
+
+// crashResumeBitwise is the kill/resume harness shared by the
+// scheduling-mode tests: reference run, crash at local step 6 with
+// checkpoints every 4, auto-resume, then bitwise comparison of the
+// final snapshot and every physics column of the step log.
+func crashResumeBitwise(t *testing.T, extra ...string) {
+	t.Helper()
+	bin := binPath(t)
+	refDir := t.TempDir()
+	if out, code := run(t, bin, baseArgs(refDir, 12, extra...)...); code != 0 {
+		t.Fatalf("reference run exited %d:\n%s", code, out)
+	}
+	refSnap := mustReadFile(t, filepath.Join(refDir, "final.g5"))
+	refLog := physicsColumns(t, filepath.Join(refDir, "steps.csv"))
+
+	dir := t.TempDir()
+	args := baseArgs(dir, 12, append([]string{"-ckpt-dir", filepath.Join(dir, "ckpt"), "-ckpt-every", "4"}, extra...)...)
+	out, code := run(t, bin, append(args, "-crash-at-step", "6")...)
+	if code != 3 || !strings.Contains(out, "crash: injected kill") {
+		t.Fatalf("crash run exited %d, want 3:\n%s", code, out)
+	}
+	out, code = run(t, bin, args...)
+	if code != 0 {
+		t.Fatalf("resume run exited %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "resuming from") {
+		t.Fatalf("resume run did not auto-resume:\n%s", out)
+	}
+	if got := mustReadFile(t, filepath.Join(dir, "final.g5")); !bytes.Equal(got, refSnap) {
+		t.Error("final snapshot differs from uninterrupted run — resume is not bitwise deterministic")
+	}
+	if got := physicsColumns(t, filepath.Join(dir, "steps.csv")); got != refLog {
+		t.Errorf("step log physics differ from uninterrupted run:\n got:\n%s\nwant:\n%s", got, refLog)
+	}
+}
+
+// TestE2EKillResumeAdaptiveBitwise: the shared adaptive-dt integrator
+// through the kill/resume gauntlet. The next dt is a pure function of
+// the restored accelerations, so a correctly restored checkpoint must
+// reproduce the uninterrupted trajectory exactly.
+func TestE2EKillResumeAdaptiveBitwise(t *testing.T) {
+	crashResumeBitwise(t, "-eta", "0.25", "-dtmin", "0.001")
+}
+
+// TestE2EKillResumeBlocksBitwise: hierarchical block timesteps through
+// the kill/resume gauntlet, with a group size small enough that
+// partially-active groups exercise the gather/scatter walk path. The
+// version-2 RUNG checkpoint section must restore the rungs, the block
+// clock and the cached-tree schedule exactly.
+func TestE2EKillResumeBlocksBitwise(t *testing.T) {
+	crashResumeBitwise(t, "-blocks", "4", "-dtmin", "0.000625", "-eta", "0.1", "-ncrit", "32")
+}

@@ -175,6 +175,9 @@ func main() {
 		sigma8 = flag.Float64("sigma8", 0.67, "power spectrum normalisation (cosmo)")
 		steps  = flag.Int("steps", 100, "total number of leapfrog steps (a resumed run continues to this count)")
 		dt     = flag.Float64("dt", 0, "timestep (0 = model default, or inherited on resume)")
+		blocks = flag.Int("blocks", 0, "hierarchical block-timestep rung levels (0 = shared dt); one step spans dtmin*2^(blocks-1)")
+		dtMin  = flag.Float64("dtmin", 0, "finest block timestep (-blocks), or the adaptive floor (-eta)")
+		eta    = flag.Float64("eta", 0, "timestep accuracy parameter; with -blocks the rung criterion, alone it selects the shared adaptive integrator")
 		theta  = flag.Float64("theta", 0.75, "Barnes-Hut opening parameter")
 		ncrit  = flag.Int("ncrit", 2000, "modified-algorithm group bound n_g")
 		eps    = flag.Float64("eps", 0, "Plummer softening (0 = model default)")
@@ -224,6 +227,19 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// Timestep-scheduling flag conflicts, caught before any work: the
+	// same explicit-flag discipline as resume (unset inherits, set must
+	// be coherent).
+	if setFlags["blocks"] && *blocks > 0 && !setFlags["dtmin"] {
+		log.Fatal("-blocks requires -dtmin (the finest rung timestep)")
+	}
+	if setFlags["dtmin"] && !setFlags["blocks"] && !setFlags["eta"] {
+		log.Fatal("-dtmin needs a scheduler: give -blocks (block timesteps) or -eta (adaptive dt)")
+	}
+	if setFlags["blocks"] && *blocks > 0 && setFlags["dt"] {
+		log.Fatal("-dt conflicts with -blocks: the step is dtmin*2^(blocks-1); drop -dt")
+	}
+	adaptive := setFlags["eta"] && !(setFlags["blocks"] && *blocks > 0)
 	if *crashMode != "kill" && *crashMode != "torn-ckpt" {
 		log.Fatalf("unknown -crash-mode %q (want kill or torn-ckpt)", *crashMode)
 	}
@@ -333,13 +349,24 @@ func main() {
 		if setFlags["boards"] {
 			overlay.Shards = *boards
 		}
+		if setFlags["blocks"] {
+			overlay.Blocks = *blocks
+		}
+		if setFlags["dtmin"] {
+			overlay.DTMin = *dtMin
+		}
+		if setFlags["eta"] {
+			overlay.Eta = *eta
+		}
+		overlay.Adaptive = adaptive
 		sim, err = grape5.ResumeSimulation(resumed, overlay)
 		if err != nil {
 			log.Fatal(err)
 		}
 	} else {
 		cfg := grape5.Config{Theta: *theta, Ncrit: *ncrit, Eps: *eps,
-			Engine: engKind, Guard: *guard, GRAPE: hwCfg}
+			Engine: engKind, Guard: *guard, GRAPE: hwCfg,
+			Blocks: *blocks, DTMin: *dtMin, Eta: *eta, Adaptive: adaptive}
 		if engKind == grape5.EnginePM {
 			cfg.PMGrid = *pmGrid
 		}
@@ -393,6 +420,11 @@ func main() {
 		if *dt != 0 {
 			cfg.DT = *dt
 		}
+		if cfg.Blocks > 0 {
+			// Block runs derive the step from the rung ladder; the model
+			// default DT would conflict with the span.
+			cfg.DT = 0
+		}
 		sim, err = grape5.NewSimulation(sys, cfg)
 		if err != nil {
 			log.Fatal(err)
@@ -417,6 +449,12 @@ func main() {
 	e0 := sim.Energy()
 	fmt.Printf("N=%d steps=%d..%d dt=%.4g theta=%.2f ncrit=%d eps=%.4g engine=%s\n",
 		sim.Sys.N(), sim.Steps(), *steps, cfg.DT, cfg.Theta, cfg.Ncrit, cfg.Eps, engineName(cfg.Engine))
+	if cfg.Blocks > 0 {
+		fmt.Printf("block timesteps: %d rungs, dtmin=%.4g span=%.4g, occupancy=%v\n",
+			cfg.Blocks, cfg.DTMin, cfg.DT, sim.RungOccupancy())
+	} else if cfg.Adaptive {
+		fmt.Printf("adaptive dt: eta=%.3g ceiling=%.4g floor=%.4g\n", cfg.Eta, cfg.DT, cfg.DTMin)
+	}
 	fmt.Printf("initial energy: K=%.4g U=%.4g E=%.4g\n", e0.Kinetic, e0.Potential, e0.Total())
 	if sim.Steps() >= *steps {
 		fmt.Printf("nothing to do: checkpoint is at step %d and -steps is %d\n", sim.Steps(), *steps)
@@ -448,7 +486,7 @@ func main() {
 		f, w, err := openStepLog(*csvLog, sim.Steps(), []string{
 			"step", "time", "groups", "interactions",
 			"avg_list", "build_ms", "walk_ms", "compute_ms",
-			"kinetic", "potential", "total_energy"})
+			"kinetic", "potential", "total_energy", "active_frac"})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -513,6 +551,7 @@ func main() {
 				fmt.Sprintf("%.8g", e.Kinetic),
 				fmt.Sprintf("%.8g", e.Potential),
 				fmt.Sprintf("%.8g", e.Total()),
+				fmt.Sprintf("%.6g", sim.LastReport.ActiveFrac),
 			}
 			if err := logW.Write(rec); err != nil {
 				log.Fatal(err)
@@ -570,6 +609,10 @@ func main() {
 	fmt.Printf("total interactions: %.4g (avg list %.0f)\n",
 		float64(sim.TotalInteractions),
 		float64(sim.TotalInteractions)/float64(sim.Sys.N())/float64(*steps+1))
+	if cfg.Blocks > 0 {
+		fmt.Printf("block scheduler: rung occupancy %v, last-step active fraction %.3g over %d substeps\n",
+			sim.RungOccupancy(), sim.LastReport.ActiveFrac, sim.LastReport.Substeps)
+	}
 
 	if c := sim.HardwareCounters(); c.Runs > 0 && sim.Config().Engine == grape5.EngineGRAPE5 {
 		cl := sim.Cluster()

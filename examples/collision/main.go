@@ -2,6 +2,11 @@
 // encounter, integrated with the treecode on the emulated GRAPE-5 —
 // the kind of galaxy-interaction workload that motivated the GRAPE
 // machines alongside cosmology.
+//
+// With -blocks the run switches to hierarchical block timesteps: the
+// dense merging cores take fine steps while the halo coasts on coarse
+// rungs, and the run reports how much force work the hierarchy saved
+// over a shared dt at the same resolution.
 package main
 
 import (
@@ -11,15 +16,19 @@ import (
 
 	grape5 "repro"
 	"repro/internal/analysis"
+	"repro/internal/perf"
 )
 
 func main() {
 	log.SetFlags(0)
 	var (
-		n     = flag.Int("n", 4000, "particles per galaxy")
-		steps = flag.Int("steps", 400, "timesteps")
-		sep   = flag.Float64("sep", 6.0, "initial separation")
-		vrel  = flag.Float64("v", 0.6, "approach speed")
+		n      = flag.Int("n", 4000, "particles per galaxy")
+		steps  = flag.Int("steps", 400, "timesteps")
+		sep    = flag.Float64("sep", 6.0, "initial separation")
+		vrel   = flag.Float64("v", 0.6, "approach speed")
+		blocks = flag.Int("blocks", 0, "block-timestep rung levels (0 = shared dt)")
+		dtmin  = flag.Float64("dtmin", 0.00125, "finest block timestep (-blocks)")
+		eta    = flag.Float64("eta", 0.02, "rung criterion accuracy (-blocks)")
 	)
 	flag.Parse()
 
@@ -33,14 +42,20 @@ func main() {
 	)
 	sys.Recenter()
 
-	sim, err := grape5.NewSimulation(sys, grape5.Config{
+	cfg := grape5.Config{
 		Theta:  0.75,
 		Ncrit:  500,
 		G:      1,
 		Eps:    0.03,
 		DT:     0.01,
 		Engine: grape5.EngineGRAPE5,
-	})
+	}
+	if *blocks > 0 {
+		// One block spans dtmin·2^(blocks-1); DT is inherited from it.
+		cfg.DT = 0
+		cfg.Blocks, cfg.DTMin, cfg.Eta = *blocks, *dtmin, *eta
+	}
+	sim, err := grape5.NewSimulation(sys, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -48,11 +63,17 @@ func main() {
 		log.Fatal(err)
 	}
 	e0 := sim.Energy()
+	if occ := sim.RungOccupancy(); occ != nil {
+		fmt.Printf("initial rung occupancy: %v\n", occ)
+	}
 
+	var activeI, substeps int64
 	for s := 1; s <= *steps; s++ {
 		if err := sim.Step(); err != nil {
 			log.Fatal(err)
 		}
+		activeI += sim.LastReport.ActiveI
+		substeps += sim.LastReport.Substeps
 		if s%(*steps/4) == 0 {
 			// Distance between the two galaxies' centres (by ID halves).
 			var c1, c2 grape5.Vec3
@@ -76,6 +97,13 @@ func main() {
 	e1 := sim.Energy()
 	fmt.Printf("\nenergy drift over the encounter: %.2e\n",
 		(e1.Total()-e0.Total())/e0.Total())
+	if occ := sim.RungOccupancy(); occ != nil && substeps > 0 {
+		cost := perf.BlockCost{Occupancy: occ}
+		measured := float64(activeI) / (float64(sim.Sys.N()) * float64(substeps))
+		fmt.Printf("final rung occupancy:   %v\n", occ)
+		fmt.Printf("force-eval ratio vs shared dt_min: %.3f measured, %.3f from final occupancy\n",
+			measured, cost.EvalRatio())
+	}
 
 	sim.Sys.Recenter()
 	proj, err := analysis.Project(sim.Sys, analysis.SlabSpec{

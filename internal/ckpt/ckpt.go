@@ -14,19 +14,27 @@
 // a truncated or bit-flipped checkpoint yields an error, never silently
 // wrong physics.
 //
-// # File format (version 1)
+// # File format (versions 1 and 2)
 //
 //	uint32  magic "G5CP"
 //	uint32  version
-//	uint32  section count (exactly 2)
+//	uint32  section count (2 for version 1, 3 for version 2)
 //	        section "STAT": tag [4]byte, length uint64, payload, crc32c
 //	        section "PART": tag [4]byte, length uint64, payload, crc32c
+//	        section "RUNG": tag [4]byte, length uint64, payload, crc32c  (v2 only)
 //
 // All integers are little-endian. STAT is the fixed-size State struct;
 // PART is int64 N followed by positions, velocities, accelerations
 // (3×float64 each), masses, potentials (float64) and IDs (int64), all
 // N long. Section lengths are validated exactly (8 + 96·N for PART), so
 // a forged length cannot drive a runaway allocation.
+//
+// Version 2 adds the RUNG section carrying per-particle timestep
+// scheduling state (BlockState): the scheduling mode, the block clock,
+// the rung-criterion scalars and the per-particle rung bytes. Writers
+// emit version 1 — byte-identical to before the format existed — when
+// the checkpoint has no Block, so shared-dt runs keep producing v1
+// files and v1 readers keep working on them.
 package ckpt
 
 import (
@@ -47,8 +55,12 @@ import (
 // Magic identifies checkpoint files ("G5CP").
 const Magic = 0x47354350
 
-// Version is the current checkpoint format version.
+// Version is the base checkpoint format version (no RUNG section).
 const Version = 1
+
+// VersionBlock is the format version carrying the RUNG scheduling
+// section; emitted only when Checkpoint.Block is set.
+const VersionBlock = 2
 
 // MaxParticles bounds the particle count a reader will accept; a forged
 // header beyond it fails before any large allocation.
@@ -57,6 +69,17 @@ const MaxParticles = 1 << 31
 const (
 	tagState = "STAT"
 	tagPart  = "PART"
+	tagRung  = "RUNG"
+)
+
+// Scheduling modes stored in BlockState.Mode.
+const (
+	// ModeAdaptive is shared adaptive dt (TimestepCriterion): no
+	// per-particle rungs, the criterion scalars alone.
+	ModeAdaptive = 1
+	// ModeBlock is hierarchical block timesteps: per-particle rungs and
+	// the block tick clock.
+	ModeBlock = 2
 )
 
 // bytesPerParticle is the PART payload size per particle: pos, vel, acc
@@ -146,12 +169,75 @@ var stateSize = func() int {
 	return n
 }()
 
+// BlockState is the per-particle timestep scheduling state stored in
+// the version-2 RUNG section. Checkpoints are taken at block boundaries
+// (Tick == 0 for an idle scheduler is the common case, but any common
+// step boundary the integrator accepts is storable), so a resumed run
+// re-enters the block loop exactly where the uninterrupted one was.
+type BlockState struct {
+	// Mode is the scheduling mode (ModeAdaptive or ModeBlock).
+	Mode int64
+	// Tick is the block clock in DTMin units (ModeBlock only).
+	Tick int64
+	// DTMin and Eta are the rung-criterion scalars (Eta doubles as the
+	// adaptive criterion's eta in ModeAdaptive).
+	DTMin float64
+	Eta   float64
+	// MaxRung is the coarsest rung exponent (ModeBlock only).
+	MaxRung int64
+	// Rungs are the per-particle rung assignments indexed by particle
+	// ID; empty in ModeAdaptive, exactly N long in ModeBlock.
+	Rungs []uint8
+}
+
+// rungFixedSize is the RUNG payload size excluding the rung bytes:
+// Mode, Tick, DTMin, Eta, MaxRung, and the rung-array length prefix.
+const rungFixedSize = 6 * 8
+
+// validate applies the format-level invariants given the particle
+// count of the PART section.
+func (b *BlockState) validate(n int) error {
+	switch b.Mode {
+	case ModeAdaptive:
+		if len(b.Rungs) != 0 {
+			return fmt.Errorf("adaptive scheduling with %d rung entries", len(b.Rungs))
+		}
+	case ModeBlock:
+		if b.MaxRung < 0 || b.MaxRung > 62 {
+			return fmt.Errorf("implausible max rung %d", b.MaxRung)
+		}
+		if len(b.Rungs) != n {
+			return fmt.Errorf("%d rung entries for N=%d", len(b.Rungs), n)
+		}
+		if b.Tick < 0 || b.Tick >= int64(1)<<uint(b.MaxRung) {
+			return fmt.Errorf("tick %d outside block span %d", b.Tick, int64(1)<<uint(b.MaxRung))
+		}
+		for i, r := range b.Rungs {
+			if int64(r) > b.MaxRung {
+				return fmt.Errorf("rung %d at index %d exceeds max rung %d", r, i, b.MaxRung)
+			}
+		}
+		if !(b.DTMin > 0) || math.IsInf(b.DTMin, 0) {
+			return fmt.Errorf("non-positive dtmin %v", b.DTMin)
+		}
+	default:
+		return fmt.Errorf("unknown scheduling mode %d", b.Mode)
+	}
+	if math.IsNaN(b.DTMin) || math.IsInf(b.DTMin, 0) || math.IsNaN(b.Eta) || math.IsInf(b.Eta, 0) {
+		return fmt.Errorf("non-finite criterion scalars dtmin=%v eta=%v", b.DTMin, b.Eta)
+	}
+	return nil
+}
+
 // Checkpoint is the complete durable run state.
 type Checkpoint struct {
 	State State
 	// Sys is the particle system, in the exact in-memory (tree) order
 	// of the checkpointed step.
 	Sys *nbody.System
+	// Block, when non-nil, is the per-particle timestep scheduling
+	// state; its presence switches the file to VersionBlock.
+	Block *BlockState
 }
 
 // FromSnapshot adapts a legacy snapshot into a resumable checkpoint:
@@ -184,13 +270,22 @@ func Write(w io.Writer, c *Checkpoint) error {
 	if len(s.Vel) != n || len(s.Acc) != n || len(s.Mass) != n || len(s.Pot) != n || len(s.ID) != n {
 		return fmt.Errorf("ckpt: inconsistent particle arrays")
 	}
+	if c.Block != nil {
+		if err := c.Block.validate(n); err != nil {
+			return fmt.Errorf("ckpt: block state: %w", err)
+		}
+	}
 	bw := bufio.NewWriterSize(w, 1<<20)
 	le := binary.LittleEndian
 
+	version, sections := uint32(Version), uint32(2)
+	if c.Block != nil {
+		version, sections = VersionBlock, 3
+	}
 	var hdr [12]byte
 	le.PutUint32(hdr[0:], Magic)
-	le.PutUint32(hdr[4:], Version)
-	le.PutUint32(hdr[8:], 2)
+	le.PutUint32(hdr[4:], version)
+	le.PutUint32(hdr[8:], sections)
 	if _, err := bw.Write(hdr[:]); err != nil {
 		return err
 	}
@@ -224,6 +319,33 @@ func Write(w io.Writer, c *Checkpoint) error {
 		return binary.Write(sw, le, s.ID)
 	}); err != nil {
 		return err
+	}
+
+	// RUNG (version 2 only)
+	if b := c.Block; b != nil {
+		rungLen := uint64(rungFixedSize + len(b.Rungs))
+		if err := writeSection(bw, tagRung, rungLen, func(sw io.Writer) error {
+			for _, v := range []int64{b.Mode, b.Tick} {
+				if err := binary.Write(sw, le, v); err != nil {
+					return err
+				}
+			}
+			for _, v := range []float64{b.DTMin, b.Eta} {
+				if err := binary.Write(sw, le, v); err != nil {
+					return err
+				}
+			}
+			if err := binary.Write(sw, le, b.MaxRung); err != nil {
+				return err
+			}
+			if err := binary.Write(sw, le, int64(len(b.Rungs))); err != nil {
+				return err
+			}
+			_, err := sw.Write(b.Rungs)
+			return err
+		}); err != nil {
+			return err
+		}
 	}
 	return bw.Flush()
 }
@@ -265,11 +387,16 @@ func Read(r io.Reader) (*Checkpoint, error) {
 	if m := le.Uint32(hdr[0:]); m != Magic {
 		return nil, fmt.Errorf("ckpt: bad magic %#x", m)
 	}
-	if v := le.Uint32(hdr[4:]); v != Version {
-		return nil, fmt.Errorf("ckpt: unsupported version %d", v)
+	version := le.Uint32(hdr[4:])
+	if version != Version && version != VersionBlock {
+		return nil, fmt.Errorf("ckpt: unsupported version %d", version)
 	}
-	if ns := le.Uint32(hdr[8:]); ns != 2 {
-		return nil, fmt.Errorf("ckpt: expected 2 sections, header says %d", ns)
+	wantSections := uint32(2)
+	if version == VersionBlock {
+		wantSections = 3
+	}
+	if ns := le.Uint32(hdr[8:]); ns != wantSections {
+		return nil, fmt.Errorf("ckpt: version %d expects %d sections, header says %d", version, wantSections, ns)
 	}
 
 	c := &Checkpoint{}
@@ -304,6 +431,54 @@ func Read(r io.Reader) (*Checkpoint, error) {
 		return nil
 	}); err != nil {
 		return nil, err
+	}
+
+	// RUNG (version 2): fixed scalars plus the rung array, whose length
+	// prefix must agree with the declared section length and the
+	// particle count already read from PART.
+	if version == VersionBlock {
+		if err := readSection(br, tagRung, func(length uint64, pr io.Reader) error {
+			if length < rungFixedSize {
+				return fmt.Errorf("rung section is %d bytes, want at least %d", length, rungFixedSize)
+			}
+			b := &BlockState{}
+			for _, dst := range []*int64{&b.Mode, &b.Tick} {
+				if err := binary.Read(pr, le, dst); err != nil {
+					return err
+				}
+			}
+			for _, dst := range []*float64{&b.DTMin, &b.Eta} {
+				if err := binary.Read(pr, le, dst); err != nil {
+					return err
+				}
+			}
+			if err := binary.Read(pr, le, &b.MaxRung); err != nil {
+				return err
+			}
+			var nr int64
+			if err := binary.Read(pr, le, &nr); err != nil {
+				return err
+			}
+			if nr < 0 || nr > MaxParticles {
+				return fmt.Errorf("implausible rung count %d", nr)
+			}
+			if want := uint64(rungFixedSize + nr); length != want {
+				return fmt.Errorf("rung section is %d bytes for %d rungs, want %d", length, nr, want)
+			}
+			if nr > 0 {
+				b.Rungs = make([]uint8, nr)
+				if _, err := io.ReadFull(pr, b.Rungs); err != nil {
+					return fmt.Errorf("rungs: %w", err)
+				}
+			}
+			if err := b.validate(c.Sys.N()); err != nil {
+				return err
+			}
+			c.Block = b
+			return nil
+		}); err != nil {
+			return nil, err
+		}
 	}
 
 	if !stateFinite(&c.State) {

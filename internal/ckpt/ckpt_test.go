@@ -2,6 +2,7 @@ package ckpt
 
 import (
 	"bytes"
+	"math"
 	"reflect"
 	"testing"
 
@@ -133,3 +134,120 @@ func TestWriteRejectsInconsistentSystem(t *testing.T) {
 		t.Error("nil checkpoint accepted")
 	}
 }
+
+// sampleBlockCheckpoint extends the sample with version-2 block
+// scheduling state: distinct rungs across particles, a non-zero tick on
+// a common step boundary of every occupied rung.
+func sampleBlockCheckpoint(n int) *Checkpoint {
+	c := sampleCheckpoint(n)
+	rungs := make([]uint8, n)
+	for i := range rungs {
+		rungs[i] = uint8(i % 3) // rungs 0..2, all boundaries align at tick 0
+	}
+	c.Block = &BlockState{
+		Mode: ModeBlock, Tick: 0, DTMin: 0.001, Eta: 0.2, MaxRung: 4, Rungs: rungs,
+	}
+	return c
+}
+
+func TestBlockRoundTrip(t *testing.T) {
+	c := sampleBlockCheckpoint(64)
+	c.Block.Tick = 8 // boundary of rungs 0..3
+	data := encode(t, c)
+	c2, err := Read(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Block == nil {
+		t.Fatal("block state lost")
+	}
+	if !reflect.DeepEqual(c.Block, c2.Block) {
+		t.Errorf("block state mismatch:\n got %+v\nwant %+v", c2.Block, c.Block)
+	}
+	if !reflect.DeepEqual(c.State, c2.State) {
+		t.Error("scalar state mismatch in v2 file")
+	}
+}
+
+func TestAdaptiveBlockRoundTrip(t *testing.T) {
+	c := sampleCheckpoint(16)
+	c.Block = &BlockState{Mode: ModeAdaptive, DTMin: 0.0005, Eta: 0.25}
+	c2, err := Read(bytes.NewReader(encode(t, c)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Block == nil || c2.Block.Mode != ModeAdaptive || c2.Block.Eta != 0.25 {
+		t.Errorf("adaptive block state = %+v", c2.Block)
+	}
+	if len(c2.Block.Rungs) != 0 {
+		t.Errorf("adaptive mode carried %d rungs", len(c2.Block.Rungs))
+	}
+}
+
+// TestV1FilesUnchangedAndStillReadable pins backward compatibility: a
+// checkpoint without block state must encode byte-identically to the
+// pre-v2 format (version 1, two sections) and still read back.
+func TestV1FilesUnchangedAndStillReadable(t *testing.T) {
+	data := encode(t, sampleCheckpoint(8))
+	le := binaryLE(t, data)
+	if v := le; v != 1 {
+		t.Errorf("no-block checkpoint wrote version %d, want 1", v)
+	}
+	c2, err := Read(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Block != nil {
+		t.Errorf("v1 file produced block state %+v", c2.Block)
+	}
+}
+
+// binaryLE extracts the version word from an encoded checkpoint.
+func binaryLE(t *testing.T, data []byte) uint32 {
+	t.Helper()
+	if len(data) < 8 {
+		t.Fatal("short header")
+	}
+	return uint32(data[4]) | uint32(data[5])<<8 | uint32(data[6])<<16 | uint32(data[7])<<24
+}
+
+func TestBlockEveryBitFlipDetected(t *testing.T) {
+	data := encode(t, sampleBlockCheckpoint(8))
+	mutant := make([]byte, len(data))
+	for i := range data {
+		copy(mutant, data)
+		mutant[i] ^= 1 << uint(i%8)
+		if _, err := Read(bytes.NewReader(mutant)); err == nil {
+			t.Fatalf("bit flip at byte %d of %d accepted", i, len(data))
+		}
+	}
+}
+
+func TestBlockValidationRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*BlockState, int)
+	}{
+		{"unknown mode", func(b *BlockState, n int) { b.Mode = 3 }},
+		{"negative tick", func(b *BlockState, n int) { b.Tick = -1 }},
+		{"tick past span", func(b *BlockState, n int) { b.Tick = int64(1) << uint(b.MaxRung) }},
+		{"max rung huge", func(b *BlockState, n int) { b.MaxRung = 63 }},
+		{"rung above max", func(b *BlockState, n int) { b.MaxRung = 1; b.Rungs[3] = 2 }},
+		{"rung count short", func(b *BlockState, n int) { b.Rungs = b.Rungs[:n-1] }},
+		{"zero dtmin", func(b *BlockState, n int) { b.DTMin = 0 }},
+		{"nan eta", func(b *BlockState, n int) { b.Eta = nan() }},
+		{"adaptive with rungs", func(b *BlockState, n int) { b.Mode = ModeAdaptive }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := sampleBlockCheckpoint(8)
+			tc.mut(c.Block, 8)
+			var buf bytes.Buffer
+			if err := Write(&buf, c); err == nil {
+				t.Errorf("writer accepted %s", tc.name)
+			}
+		})
+	}
+}
+
+func nan() float64 { return math.NaN() }

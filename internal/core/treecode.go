@@ -44,6 +44,14 @@ type Options struct {
 	// Reuse trades a drift-bounded force approximation for amortised
 	// build cost; see the ablation benchmarks.
 	RebuildEvery int
+	// ActiveRebuildFrac is the block-timestep rebuild policy knob
+	// (ComputeForcesActive): a substep whose active fraction reaches
+	// this threshold triggers a full Morton sort and rebuild, below it
+	// the cached tree is centre-of-mass refreshed. Default 0.5. The
+	// policy is a pure function of the active fraction and tree
+	// validity, which is what keeps resumed block runs on the
+	// uninterrupted run's exact rebuild schedule.
+	ActiveRebuildFrac float64
 	// Obs, when non-nil, receives per-phase spans (Morton sort, tree
 	// build, group walk, force evaluation) and traversal counters for
 	// every force calculation. Walk workers record concurrently.
@@ -65,6 +73,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.ActiveRebuildFrac <= 0 {
+		o.ActiveRebuildFrac = 0.5
 	}
 	return o
 }
@@ -90,6 +101,9 @@ type Stats struct {
 	// NodesVisited counts tree nodes touched during traversal, the
 	// host's walk work measure.
 	NodesVisited int64
+	// Active is the number of force-evaluated field particles: N for a
+	// full-set call, the closing-set size for ComputeForcesActive.
+	Active int64
 	// BuildTime, WalkTime and ComputeTime are measured wall-clock
 	// durations of the tree build, the traversal (list construction)
 	// and the force evaluation. With Workers > 1, WalkTime and
@@ -185,6 +199,51 @@ type listBuf struct {
 	macX, macY, macZ, macS [hostk.MACWidth]float64
 	macIdx                 [hostk.MACWidth]int32
 	macOK                  [hostk.MACWidth]bool
+	// segs are the active-path gather arenas: one segment per
+	// partially-active group this worker dispatched in the current call
+	// (segUsed counts them). Batched engines stage references to the
+	// request's i-lanes until Flush, so each group needs lanes that
+	// outlive the walk loop — the segment pointers are stable and the
+	// backing arrays grow to the high-water member count, then persist
+	// across calls.
+	segs    []*gatherSeg
+	segUsed int
+}
+
+// gatherSeg holds one partially-active group's gathered i-lanes: the
+// global indices of its active members, their positions, and the
+// Acc/Pot accumulators the engine writes. Scattered back to the system
+// arrays after the engine's Flush barrier.
+type gatherSeg struct {
+	idx []int32
+	pos []vec.V3
+	acc []vec.V3
+	pot []float64
+}
+
+// nextSeg returns the next unused segment sized for n active members,
+// growing the arena on first use or when a group exceeds a segment's
+// previous capacity. Re-slicing an existing segment is safe: by the
+// time a segment is reused (the following computeForces call), its
+// prior contents have been flushed and scattered.
+func (b *listBuf) nextSeg(n int) *gatherSeg {
+	if b.segUsed == len(b.segs) {
+		b.segs = append(b.segs, &gatherSeg{})
+	}
+	seg := b.segs[b.segUsed]
+	b.segUsed++
+	if cap(seg.idx) < n {
+		seg.idx = make([]int32, n)
+		seg.pos = make([]vec.V3, n)
+		seg.acc = make([]vec.V3, n)
+		seg.pot = make([]float64, n)
+	} else {
+		seg.idx = seg.idx[:n]
+		seg.pos = seg.pos[:n]
+		seg.acc = seg.acc[:n]
+		seg.pot = seg.pot[:n]
+	}
+	return seg
 }
 
 // ComputeForces runs the modified (grouped) tree algorithm: builds the
@@ -193,12 +252,77 @@ type listBuf struct {
 // group members plus list to the engine. Accelerations and potentials
 // are written to s.Acc and s.Pot.
 func (tc *Treecode) ComputeForces(s *nbody.System) (*Stats, error) {
+	return tc.computeForces(s, nil, 0)
+}
+
+// ComputeForcesActive computes forces for exactly the particles whose
+// ID is marked in activeByID (nActive marks), leaving every other
+// particle's Acc/Pot untouched — the block-timestep substep primitive.
+// Groups without active members are skipped entirely; partially-active
+// groups still build their one shared interaction list but dispatch
+// only the active members, through gather lanes that stay stable until
+// the engine's Flush barrier commits. A full mask (nActive ≥ N, or a
+// nil activeByID) takes the identical code path as ComputeForces — the
+// degenerate-rung bitwise anchor.
+func (tc *Treecode) ComputeForcesActive(s *nbody.System, activeByID []bool, nActive int) (*Stats, error) {
+	if activeByID == nil || nActive >= s.N() {
+		return tc.computeForces(s, nil, 0)
+	}
+	return tc.computeForces(s, activeByID, nActive)
+}
+
+// PrimeTree builds and caches the octree for s without dispatching any
+// forces. A resumed block-timestep run calls it so its first substep
+// starts from the same cached-tree state the uninterrupted run held
+// after its last block boundary: the checkpointed system is already in
+// Morton order, the rebuild is deterministic, and the next Refresh then
+// reproduces the uninterrupted run bitwise.
+func (tc *Treecode) PrimeTree(s *nbody.System) error {
+	o := tc.Opt.withDefaults()
+	_, err := tc.rebuildTree(s, o)
+	return err
+}
+
+// rebuildTree runs a full Morton sort + build through the cached
+// Builder, recreating the builder only when the options it bakes in
+// change, and installs the result as the current tree.
+func (tc *Treecode) rebuildTree(s *nbody.System, o Options) (*octree.Tree, error) {
+	if tc.builder == nil || tc.bLeafCap != o.LeafCap || tc.bWorkers != o.Workers || tc.bObs != o.Obs {
+		tc.builder = octree.NewBuilder(octree.BuilderOptions{
+			LeafCap: o.LeafCap,
+			Workers: o.Workers,
+			Obs:     o.Obs,
+		})
+		tc.bLeafCap, tc.bWorkers, tc.bObs = o.LeafCap, o.Workers, o.Obs
+	}
+	tree, err := tc.builder.Build(s)
+	if err != nil {
+		return nil, err
+	}
+	tc.Tree = tree
+	tc.sinceBuild = 1
+	return tree, nil
+}
+
+// computeForces is the shared walk driver. active == nil is the
+// full-set path; a non-nil active mask (indexed by particle ID, with
+// nActive marks) dispatches only marked field particles.
+func (tc *Treecode) computeForces(s *nbody.System, active []bool, nActive int) (*Stats, error) {
 	o := tc.Opt.withDefaults()
 	stats := &Stats{N: s.N(), MinList: -1}
 
 	t0 := time.Now()
-	reuse := o.RebuildEvery > 1 && tc.Tree != nil && tc.Tree.Sys == s &&
-		tc.sinceBuild < o.RebuildEvery
+	var reuse bool
+	if active == nil {
+		reuse = o.RebuildEvery > 1 && tc.Tree != nil && tc.Tree.Sys == s &&
+			tc.sinceBuild < o.RebuildEvery
+	} else {
+		// Block substeps drift every particle, so the tree always needs
+		// at least a centre-of-mass refresh; a full rebuild only when the
+		// active fraction says the Morton order is worth re-earning.
+		reuse = tc.Tree != nil && tc.Tree.Sys == s &&
+			float64(nActive) < o.ActiveRebuildFrac*float64(s.N())
+	}
 	var tree *octree.Tree
 	if reuse {
 		tm := o.Obs.Start(obs.PhaseTreeBuild)
@@ -207,28 +331,19 @@ func (tc *Treecode) ComputeForces(s *nbody.System) (*Stats, error) {
 		tm.Stop()
 		tc.sinceBuild++
 	} else {
-		if tc.builder == nil || tc.bLeafCap != o.LeafCap || tc.bWorkers != o.Workers || tc.bObs != o.Obs {
-			tc.builder = octree.NewBuilder(octree.BuilderOptions{
-				LeafCap: o.LeafCap,
-				Workers: o.Workers,
-				Obs:     o.Obs,
-			})
-			tc.bLeafCap, tc.bWorkers, tc.bObs = o.LeafCap, o.Workers, o.Obs
-		}
 		var err error
-		tree, err = tc.builder.Build(s)
+		tree, err = tc.rebuildTree(s, o)
 		if err != nil {
 			return nil, err
 		}
-		tc.Tree = tree
-		tc.sinceBuild = 1
 	}
 	stats.BuildTime = time.Since(t0)
 
 	// Groups is cached on the tree, so the reuse path re-scans nothing.
 	// Acc/Pot zeroing happens inside the walk workers, per group range:
 	// the groups tile [0, N) disjointly, so each worker clears exactly
-	// the range it is about to accumulate into.
+	// the range it is about to accumulate into (for active calls, only
+	// the gathered lanes of the members it dispatches).
 	groups := tree.Groups(o.Ncrit)
 	stats.Groups = len(groups)
 
@@ -243,8 +358,9 @@ func (tc *Treecode) ComputeForces(s *nbody.System) (*Stats, error) {
 	tc.ensureWorkerScratch(workers)
 	tc.groupCursor.Store(0)
 	for w := 0; w < workers; w++ {
+		tc.bufs[w].segUsed = 0
 		tc.wg.Add(1)
-		go tc.runWalkWorker(w, s, tree, groups, mac, o, stats)
+		go tc.runWalkWorker(w, s, tree, groups, mac, active, o, stats)
 	}
 	tc.wg.Wait()
 	// Asynchronous engines stage batches; the step's forces are only
@@ -254,12 +370,29 @@ func (tc *Treecode) ComputeForces(s *nbody.System) (*Stats, error) {
 			return nil, err
 		}
 	}
+	// Scatter the gathered lanes back to the masked particles. This must
+	// run after Flush: batched engines hold references to the lanes and
+	// commit results at the barrier. Targets are disjoint (each particle
+	// is gathered at most once), so scatter order cannot matter.
+	if active != nil {
+		for w := 0; w < workers; w++ {
+			buf := tc.bufs[w]
+			for _, seg := range buf.segs[:buf.segUsed] {
+				for k, i := range seg.idx {
+					s.Acc[i] = seg.acc[k]
+					s.Pot[i] = seg.pot[k]
+				}
+			}
+		}
+	}
 	if stats.MinList < 0 {
 		stats.MinList = 0
 	}
 	o.Obs.Add(obs.CntInteractions, stats.Interactions)
 	o.Obs.Add(obs.CntGroups, int64(stats.Groups))
 	o.Obs.Add(obs.CntNodesVisited, stats.NodesVisited)
+	o.Obs.Add(obs.CntActiveI, stats.Active)
+	o.Obs.Add(obs.CntSubsteps, 1)
 	return stats, nil
 }
 
@@ -268,18 +401,25 @@ func (tc *Treecode) ComputeForces(s *nbody.System) (*Stats, error) {
 // goroutine profiles) and runs the group-drain loop with w's persistent
 // traversal buffer.
 func (tc *Treecode) runWalkWorker(w int, s *nbody.System, tree *octree.Tree,
-	groups []octree.Group, mac octree.OpenCriterion, o Options, stats *Stats) {
+	groups []octree.Group, mac octree.OpenCriterion, active []bool, o Options, stats *Stats) {
 	defer tc.wg.Done()
 	pprof.SetGoroutineLabels(tc.labelCtxs[w])
-	tc.walkWorker(tc.bufs[w], s, tree, groups, mac, o, stats)
+	tc.walkWorker(tc.bufs[w], s, tree, groups, mac, active, o, stats)
 }
 
 // walkWorker drains group indices from the shared cursor, zeroing each
 // group's Acc/Pot range, building its interaction list and dispatching
 // it to the engine; per-worker spans and statistics are folded into
 // stats under statsMu at the end.
+//
+// With a non-nil active mask, groups with no active members are skipped
+// outright (their list is never built — the block-timestep walk saving),
+// fully-active groups take the identical full path, and partially-active
+// groups gather their active members into a stable gatherSeg so the
+// engine sees a dense i-range while inactive members' Acc/Pot stay
+// untouched.
 func (tc *Treecode) walkWorker(buf *listBuf, s *nbody.System, tree *octree.Tree,
-	groups []octree.Group, mac octree.OpenCriterion, o Options, stats *Stats) {
+	groups []octree.Group, mac octree.OpenCriterion, active []bool, o Options, stats *Stats) {
 	local := Stats{MinList: -1}
 	var req Request // hoisted: &req must not escape a loop iteration
 	for {
@@ -288,21 +428,50 @@ func (tc *Treecode) walkWorker(buf *listBuf, s *nbody.System, tree *octree.Tree,
 			break
 		}
 		g := groups[gi]
+		ni := int(g.Count)
+		na := ni
+		if active != nil {
+			na = 0
+			for i := g.Start; i < g.Start+g.Count; i++ {
+				if active[s.ID[i]] {
+					na++
+				}
+			}
+			if na == 0 {
+				continue
+			}
+		}
 		tw0 := time.Now()
-		for i := g.Start; i < g.Start+g.Count; i++ {
-			s.Acc[i] = vec.Zero
-			s.Pot[i] = 0
+		var seg *gatherSeg
+		if na == ni {
+			for i := g.Start; i < g.Start+g.Count; i++ {
+				s.Acc[i] = vec.Zero
+				s.Pot[i] = 0
+			}
+		} else {
+			seg = buf.nextSeg(na)
+			k := 0
+			for i := g.Start; i < g.Start+g.Count; i++ {
+				if !active[s.ID[i]] {
+					continue
+				}
+				seg.idx[k] = i
+				seg.pos[k] = s.Pos[i]
+				seg.acc[k] = vec.Zero
+				seg.pot[k] = 0
+				k++
+			}
 		}
 		visited, cells := tc.buildGroupList(tree, g, mac, buf)
 		local.WalkTime += time.Since(tw0)
 
 		nj := buf.J.N
-		ni := int(g.Count)
-		local.Interactions += int64(ni) * int64(nj)
+		local.Interactions += int64(na) * int64(nj)
 		local.ListSum += int64(nj)
 		local.CellTerms += int64(cells)
 		local.ParticleTerms += int64(nj - cells)
 		local.NodesVisited += visited
+		local.Active += int64(na)
 		if nj > local.MaxList {
 			local.MaxList = nj
 		}
@@ -311,11 +480,15 @@ func (tc *Treecode) walkWorker(buf *listBuf, s *nbody.System, tree *octree.Tree,
 		}
 
 		tc0 := time.Now()
-		req = Request{
-			IPos: s.Pos[g.Start : g.Start+g.Count],
-			J:    buf.J,
-			Acc:  s.Acc[g.Start : g.Start+g.Count],
-			Pot:  s.Pot[g.Start : g.Start+g.Count],
+		if seg == nil {
+			req = Request{
+				IPos: s.Pos[g.Start : g.Start+g.Count],
+				J:    buf.J,
+				Acc:  s.Acc[g.Start : g.Start+g.Count],
+				Pot:  s.Pot[g.Start : g.Start+g.Count],
+			}
+		} else {
+			req = Request{IPos: seg.pos, J: buf.J, Acc: seg.acc, Pot: seg.pot}
 		}
 		tc.Engine.Accumulate(&req)
 		local.ComputeTime += time.Since(tc0)
@@ -330,6 +503,7 @@ func (tc *Treecode) walkWorker(buf *listBuf, s *nbody.System, tree *octree.Tree,
 	stats.NodesVisited += local.NodesVisited
 	stats.WalkTime += local.WalkTime
 	stats.ComputeTime += local.ComputeTime
+	stats.Active += local.Active
 	if local.MaxList > stats.MaxList {
 		stats.MaxList = local.MaxList
 	}
@@ -419,7 +593,7 @@ func (tc *Treecode) buildGroupList(tree *octree.Tree, g octree.Group, mac octree
 // Gflops (its §5 "correction").
 func (tc *Treecode) ComputeForcesOriginal(s *nbody.System) (*Stats, error) {
 	o := tc.Opt.withDefaults()
-	stats := &Stats{N: s.N(), Groups: s.N(), MinList: -1}
+	stats := &Stats{N: s.N(), Groups: s.N(), MinList: -1, Active: int64(s.N())}
 
 	t0 := time.Now()
 	tree, err := octree.Build(s, &octree.Options{LeafCap: o.LeafCap})

@@ -1,6 +1,7 @@
 package integrate
 
 import (
+	"fmt"
 	"math"
 
 	"repro/internal/nbody"
@@ -24,15 +25,22 @@ type TimestepCriterion struct {
 
 // Pick returns the global timestep dt = η·min_i sqrt(eps/|a_i|), the
 // standard collisionless softened-force criterion (e.g. GADGET's
-// ErrTolIntAccuracy form). Accelerations must be current.
-func (c TimestepCriterion) Pick(s *nbody.System) float64 {
+// ErrTolIntAccuracy form). Accelerations must be current. A non-finite
+// acceleration — a faulted board surviving guard fallback, an IC bug —
+// is a loud error: silently folding NaN/Inf into the step size would
+// poison the clock and every position after it.
+func (c TimestepCriterion) Pick(s *nbody.System) (float64, error) {
 	eta := c.Eta
 	if eta == 0 {
 		eta = 0.2
 	}
 	maxA := 0.0
-	for _, a := range s.Acc {
-		if n := a.Norm(); n > maxA {
+	for i, a := range s.Acc {
+		n := a.Norm()
+		if math.IsNaN(n) || math.IsInf(n, 0) {
+			return 0, fmt.Errorf("integrate: non-finite acceleration |a|=%v for particle %d (id %d): refusing to derive a timestep from corrupt forces", n, i, s.ID[i])
+		}
+		if n > maxA {
 			maxA = n
 		}
 	}
@@ -51,13 +59,18 @@ func (c TimestepCriterion) Pick(s *nbody.System) float64 {
 	if c.MinDT > 0 && dt < c.MinDT {
 		dt = c.MinDT
 	}
-	return dt
+	return dt, nil
 }
 
 // AdaptiveLeapfrog wraps Leapfrog with per-step timestep selection.
 // Adapting dt breaks exact symplecticity, which is why fixed steps
 // remain the default; the adaptive variant is for runs with deep
 // collapse where a fixed step would either crawl or blow up.
+//
+// Resume note: the step size is a pure function of the current
+// accelerations, which a checkpoint restores exactly, so a primed
+// resume re-derives the identical dt sequence — adaptive runs are
+// bitwise resumable with no extra scheduler state.
 type AdaptiveLeapfrog struct {
 	// Criterion picks each step.
 	Criterion TimestepCriterion
@@ -71,15 +84,35 @@ type AdaptiveLeapfrog struct {
 // LastDT returns the most recent step size.
 func (a *AdaptiveLeapfrog) LastDT() float64 { return a.lastDT }
 
+// Prime computes the initial accelerations. Step calls it automatically
+// if the caller has not.
+func (a *AdaptiveLeapfrog) Prime(s *nbody.System) error {
+	if err := a.Force(s); err != nil {
+		return err
+	}
+	a.primed = true
+	return nil
+}
+
+// Primed reports whether initial accelerations are available.
+func (a *AdaptiveLeapfrog) Primed() bool { return a.primed }
+
+// SetPrimed overrides the primed flag: a checkpoint resume restores
+// post-force accelerations and marks the integrator primed, exactly
+// like Leapfrog.SetPrimed.
+func (a *AdaptiveLeapfrog) SetPrimed(primed bool) { a.primed = primed }
+
 // Step advances by one adaptively chosen step and returns its size.
 func (a *AdaptiveLeapfrog) Step(s *nbody.System) (float64, error) {
 	if !a.primed {
-		if err := a.Force(s); err != nil {
+		if err := a.Prime(s); err != nil {
 			return 0, err
 		}
-		a.primed = true
 	}
-	dt := a.Criterion.Pick(s)
+	dt, err := a.Criterion.Pick(s)
+	if err != nil {
+		return 0, err
+	}
 	half := dt / 2
 	for i := range s.Vel {
 		s.Vel[i] = s.Vel[i].MulAdd(half, s.Acc[i])
@@ -104,12 +137,14 @@ func (a *AdaptiveLeapfrog) RunUntil(s *nbody.System, t float64) (int, error) {
 	steps := 0
 	for elapsed < t {
 		if !a.primed {
-			if err := a.Force(s); err != nil {
+			if err := a.Prime(s); err != nil {
 				return steps, err
 			}
-			a.primed = true
 		}
-		dt := a.Criterion.Pick(s)
+		dt, err := a.Criterion.Pick(s)
+		if err != nil {
+			return steps, err
+		}
 		if elapsed+dt > t {
 			dt = t - elapsed
 		}

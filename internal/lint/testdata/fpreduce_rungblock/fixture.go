@@ -1,0 +1,76 @@
+// Package fixture confirms fpreduce's sanction for the block
+// scheduler's rung-assignment reduction. Loaded as
+// repro/internal/integrate, where BlockLeapfrog.assignRungs is the
+// designated merge point: its go-launched workers accumulate into
+// per-worker partials through captured pointers (ownership the
+// analyzer cannot prove), and the fold walks the partials in worker
+// order. The identical shape on an unsanctioned method is still
+// flagged.
+package fixture
+
+import "sync"
+
+type rungPartial struct {
+	sumDT float64
+	count int64
+}
+
+type BlockLeapfrog struct {
+	partials []rungPartial
+	lastSum  float64
+}
+
+// assignRungs is on the sanctioned list for repro/internal/integrate:
+// each worker owns exactly one rungPartial, so the captured-pointer
+// accumulation is single-writer and the worker-order fold below keeps
+// the merged telemetry schedule-independent.
+func (b *BlockLeapfrog) assignRungs(dts []float64, workers int) {
+	if cap(b.partials) < workers {
+		b.partials = make([]rungPartial, workers)
+	}
+	b.partials = b.partials[:workers]
+	var wg sync.WaitGroup
+	chunk := (len(dts) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > len(dts) {
+			hi = len(dts)
+		}
+		part := &b.partials[w]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, dt := range dts[lo:hi] {
+				part.sumDT += dt
+				part.count++
+			}
+		}()
+	}
+	wg.Wait()
+	for w := range b.partials {
+		b.lastSum += b.partials[w].sumDT
+	}
+}
+
+// gatherTelemetry is not sanctioned, so the identical captured-pointer
+// accumulation inside a go-launched literal is flagged.
+func (b *BlockLeapfrog) gatherTelemetry(dts []float64, workers int) {
+	b.partials = make([]rungPartial, workers)
+	var wg sync.WaitGroup
+	chunk := (len(dts) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > len(dts) {
+			hi = len(dts)
+		}
+		part := &b.partials[w]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, dt := range dts[lo:hi] {
+				part.sumDT += dt // want "float accumulation into part, captured by a go-launched literal"
+			}
+		}()
+	}
+	wg.Wait()
+}

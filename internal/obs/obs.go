@@ -103,6 +103,15 @@ const (
 	// CntCkptWrites is the number of checkpoints written this step
 	// (normally 0 or 1).
 	CntCkptWrites
+	// CntActiveI is the number of force-evaluated field particles this
+	// step, summed over substeps: N × substeps for shared-dt runs, the
+	// closing-set totals for block-timestep runs. The active fraction
+	// CntActiveI / (N × CntSubsteps) is the block scheduler's headline
+	// saving.
+	CntActiveI
+	// CntSubsteps is the number of force calculations this step: 1 for
+	// shared-dt runs, the block count of substeps advanced otherwise.
+	CntSubsteps
 
 	numCounters
 )
@@ -110,6 +119,7 @@ const (
 var counterNames = [numCounters]string{
 	"interactions", "flops", "bytes", "groups", "nodes_visited",
 	"recoveries", "fallbacks", "ckpt_bytes", "ckpt_writes",
+	"active_i", "substeps",
 }
 
 // String returns the snake_case counter name used in the JSON schema.

@@ -84,6 +84,14 @@ type StepReport struct {
 	// zero: most steps write no checkpoint).
 	CkptBytes  int64 `json:"ckpt_bytes,omitempty"`
 	CkptWrites int64 `json:"ckpt_writes,omitempty"`
+	// Substeps and ActiveI describe block-timestep activity: the number
+	// of force calculations in the step and the total force-evaluated
+	// field particles across them. ActiveFrac = ActiveI/(N × Substeps)
+	// is filled in by the step driver (the Observer does not know N).
+	// All omitted when zero so shared-dt reports keep their old schema.
+	Substeps   int64   `json:"substeps,omitempty"`
+	ActiveI    int64   `json:"active_i,omitempty"`
+	ActiveFrac float64 `json:"active_frac,omitempty"`
 }
 
 // Snapshot rolls the Observer up into a StepReport for the given step
@@ -118,6 +126,8 @@ func (o *Observer) Snapshot(step int, wall time.Duration) StepReport {
 	r.Fallbacks = o.Count(CntFallbacks)
 	r.CkptBytes = o.Count(CntCkptBytes)
 	r.CkptWrites = o.Count(CntCkptWrites)
+	r.Substeps = o.Count(CntSubsteps)
+	r.ActiveI = o.Count(CntActiveI)
 	return r
 }
 

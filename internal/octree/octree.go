@@ -217,12 +217,6 @@ func aggregateChildren(nodes []Node, idx int32, box vec.Box) {
 	n.Bmax = maxCornerDist(box, n.COM)
 }
 
-// finishLeaf computes the mass and centre of mass of a leaf directly
-// from its particles.
-func (t *Tree) finishLeaf(idx int32) {
-	finishLeafNode(t.Sys, &t.Nodes[idx])
-}
-
 // finishLeafNode fills a leaf node's mass, COM and bmax from the
 // system's particles in its range.
 func finishLeafNode(sys *nbody.System, n *Node) {
@@ -279,34 +273,25 @@ func (t *Tree) Depth() int {
 // approximation bounded by the drift distance, while the O(N log N)
 // sort+build cost is amortised. (Classic 1990s treecode optimisation;
 // the ablation benchmarks quantify the trade-off.)
+//
+// Refresh runs no recursion and allocates nothing: every constructor
+// (nodeBuilder.build, the parallel build's byte-identical layout, the
+// standalone Build) lays nodes out in preorder, so a parent's index is
+// always smaller than its children's and a single reverse-index sweep
+// visits children before parents. Each node's aggregation reads only
+// its (already refreshed) children in octant order — the identical
+// floating-point fold as the build — so refresh results are bitwise
+// independent of the sweep's visit order. Block-timestep runs refresh
+// once per substep, which is what makes the zero-cost sweep matter.
 func (t *Tree) Refresh() {
-	var walk func(idx int32)
-	walk = func(idx int32) {
+	for idx := int32(len(t.Nodes)) - 1; idx >= 0; idx-- {
 		n := &t.Nodes[idx]
 		if n.Leaf {
-			t.finishLeaf(idx)
-			return
-		}
-		var m float64
-		var com vec.V3
-		for _, c := range n.Children {
-			if c == NoChild {
-				continue
-			}
-			walk(c)
-			cn := &t.Nodes[c]
-			m += cn.Mass
-			com = com.MulAdd(cn.Mass, cn.COM)
-		}
-		n.Mass = m
-		if m > 0 {
-			n.COM = com.Scale(1 / m)
+			finishLeafNode(t.Sys, n)
 		} else {
-			n.COM = n.Box.Center()
+			aggregateChildren(t.Nodes, idx, n.Box)
 		}
-		n.Bmax = maxCornerDist(n.Box, n.COM)
 	}
-	walk(0)
 }
 
 // Groups returns the index ranges of the particle groups used by

@@ -1,0 +1,80 @@
+package perf
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestBlockCostSingleRung(t *testing.T) {
+	// Everyone on one rung: one substep per block, ratio exactly 1.
+	b := BlockCost{Occupancy: []int64{0, 0, 0, 2000}}
+	if got := b.Substeps(); got != 1 {
+		t.Errorf("Substeps = %d, want 1", got)
+	}
+	if got := b.ForceEvals(); got != 2000 {
+		t.Errorf("ForceEvals = %d, want 2000", got)
+	}
+	if got := b.EvalRatio(); got != 1 {
+		t.Errorf("EvalRatio = %v, want 1", got)
+	}
+	if got := b.Speedup(0.1); got != 1 {
+		t.Errorf("Speedup = %v, want 1 for a flat ladder", got)
+	}
+}
+
+func TestBlockCostHierarchy(t *testing.T) {
+	// 4-rung ladder, rung 1 lowest occupied: substeps = 2^(3-1) = 4.
+	b := BlockCost{Occupancy: []int64{0, 100, 300, 600}}
+	if got := b.Substeps(); got != 4 {
+		t.Errorf("Substeps = %d, want 4", got)
+	}
+	// 100·4 + 300·2 + 600·1 = 1600 evals vs 1000·4 = 4000 shared.
+	if got := b.ForceEvals(); got != 1600 {
+		t.Errorf("ForceEvals = %d, want 1600", got)
+	}
+	if got := b.SharedForceEvals(); got != 4000 {
+		t.Errorf("SharedForceEvals = %d, want 4000", got)
+	}
+	if got, want := b.EvalRatio(), 0.4; math.Abs(got-want) > 1e-15 {
+		t.Errorf("EvalRatio = %v, want %v", got, want)
+	}
+	// Pure force cost: speedup is the inverse ratio.
+	if got, want := b.Speedup(0), 2.5; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Speedup(0) = %v, want %v", got, want)
+	}
+	// With overhead the win shrinks but never inverts.
+	s := b.Speedup(0.3)
+	if s <= 1 || s >= 2.5 {
+		t.Errorf("Speedup(0.3) = %v, want in (1, 2.5)", s)
+	}
+	// All-overhead degenerates to no win.
+	if got := b.Speedup(1); got != 1 {
+		t.Errorf("Speedup(1) = %v, want 1", got)
+	}
+}
+
+func TestBlockCostSpeedupMonotoneInRatio(t *testing.T) {
+	// Pushing particles to coarser rungs must only help.
+	prev := 0.0
+	for coarse := int64(0); coarse <= 900; coarse += 300 {
+		b := BlockCost{Occupancy: []int64{100, 0, 0, 900 - coarse + 0, coarse}}
+		s := b.Speedup(0.1)
+		if s < prev-1e-12 {
+			t.Errorf("speedup fell to %v as occupancy coarsened", s)
+		}
+		prev = s
+	}
+}
+
+func TestMeasuredEvalRatio(t *testing.T) {
+	r := obs.StepReport{Substeps: 4, ActiveI: 1600}
+	if got, want := MeasuredEvalRatio(r, 1000), 0.4; math.Abs(got-want) > 1e-15 {
+		t.Errorf("MeasuredEvalRatio = %v, want %v", got, want)
+	}
+	// Fixed-dt reports carry no substeps and read as ratio 1.
+	if got := MeasuredEvalRatio(obs.StepReport{}, 1000); got != 1 {
+		t.Errorf("fixed-dt ratio = %v, want 1", got)
+	}
+}

@@ -184,6 +184,7 @@ func sampleJobStatus() serve.JobStatus {
 		TBuild: 0.03, BytesAlloc: 64, Phases: samplePhases(),
 		Interactions: 1000, Flops: 38000, Bytes: 512, Groups: 4,
 		NodesVisited: 99, Recoveries: 1, Fallbacks: 1, CkptBytes: 2048, CkptWrites: 1,
+		Substeps: 4, ActiveI: 250, ActiveFrac: 0.625,
 	}
 	return serve.JobStatus{
 		ID:     "job-000001",

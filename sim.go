@@ -88,6 +88,29 @@ type Config struct {
 	RebuildEvery int
 	// Workers bounds traversal parallelism (0 = GOMAXPROCS).
 	Workers int
+
+	// Blocks, when greater than 0, selects hierarchical block-timestep
+	// integration with Blocks power-of-two rung levels: particle rungs
+	// k ∈ [0, Blocks-1] advance with dt = DTMin·2^k, and one Step spans
+	// the full block DTMin·2^(Blocks-1). DT, if set, must equal that
+	// span (unset inherits it). Blocks == 1 degenerates to the global
+	// leapfrog at DT = DTMin, bitwise. Mutually exclusive with Adaptive
+	// and EnginePM.
+	Blocks int
+	// DTMin is the finest block timestep (required when Blocks > 0).
+	DTMin float64
+	// Eta is the timestep accuracy parameter of the rung criterion
+	// (Blocks > 0) or the shared adaptive criterion (Adaptive); default
+	// 0.2.
+	Eta float64
+	// Adaptive selects the shared adaptive timestep integrator: every
+	// step uses dt = Eta·sqrt(Eps/|a|_max) clamped to [DTMin, DT]. DT
+	// acts as the ceiling, DTMin (optional) as the floor.
+	Adaptive bool
+	// ActiveRebuildFrac tunes the block-timestep tree rebuild policy:
+	// substeps whose active fraction reaches it rebuild, below it the
+	// cached tree is refreshed (default 0.5).
+	ActiveRebuildFrac float64
 }
 
 // Simulation couples a System to the treecode, a force engine and a
@@ -99,10 +122,12 @@ type Simulation struct {
 
 	cfg     Config
 	tc      *core.Treecode
-	hw      *g5.System        // nil for host engine and cluster runs
-	guard   *g5.GuardedEngine // nil unless Config.Guard
-	cluster *g5.Cluster       // nil unless Config.Shards > 1
-	lf      *integrate.Leapfrog
+	hw      *g5.System                  // nil for host engine and cluster runs
+	guard   *g5.GuardedEngine           // nil unless Config.Guard
+	cluster *g5.Cluster                 // nil unless Config.Shards > 1
+	lf      *integrate.Leapfrog         // fixed-dt mode
+	bl      *integrate.BlockLeapfrog    // Config.Blocks > 0
+	al      *integrate.AdaptiveLeapfrog // Config.Adaptive
 	ob      *obs.Observer
 	time    float64
 	nsteps  int
@@ -137,6 +162,26 @@ func NewSimulation(sys *System, cfg Config) (*Simulation, error) {
 	if err := sys.Validate(); err != nil {
 		return nil, err
 	}
+	if cfg.Blocks > 0 {
+		if cfg.Adaptive {
+			return nil, fmt.Errorf("grape5: Blocks and Adaptive are mutually exclusive")
+		}
+		if cfg.Engine == EnginePM {
+			return nil, fmt.Errorf("grape5: block timesteps are not supported with the PM engine")
+		}
+		if cfg.DTMin <= 0 {
+			return nil, fmt.Errorf("grape5: block timesteps need DTMin > 0, got %v", cfg.DTMin)
+		}
+		if cfg.Blocks > 31 {
+			return nil, fmt.Errorf("grape5: at most 31 rung levels, got %d", cfg.Blocks)
+		}
+		span := cfg.DTMin * float64(int64(1)<<uint(cfg.Blocks-1))
+		if cfg.DT == 0 {
+			cfg.DT = span
+		} else if cfg.DT != span {
+			return nil, fmt.Errorf("grape5: DT %v conflicts with block span DTMin·2^(Blocks-1) = %v; leave DT unset to inherit it", cfg.DT, span)
+		}
+	}
 	if cfg.DT <= 0 {
 		return nil, fmt.Errorf("grape5: timestep must be positive, got %v", cfg.DT)
 	}
@@ -146,14 +191,15 @@ func NewSimulation(sys *System, cfg Config) (*Simulation, error) {
 
 	sim := &Simulation{Sys: sys, cfg: cfg, ob: obs.NewObserver()}
 	opt := core.Options{
-		Theta:        cfg.Theta,
-		Ncrit:        cfg.Ncrit,
-		LeafCap:      cfg.LeafCap,
-		G:            cfg.G,
-		Eps:          cfg.Eps,
-		Workers:      cfg.Workers,
-		RebuildEvery: cfg.RebuildEvery,
-		Obs:          sim.ob,
+		Theta:             cfg.Theta,
+		Ncrit:             cfg.Ncrit,
+		LeafCap:           cfg.LeafCap,
+		G:                 cfg.G,
+		Eps:               cfg.Eps,
+		Workers:           cfg.Workers,
+		RebuildEvery:      cfg.RebuildEvery,
+		ActiveRebuildFrac: cfg.ActiveRebuildFrac,
+		Obs:               sim.ob,
 	}
 
 	var engine core.Engine
@@ -215,11 +261,30 @@ func NewSimulation(sys *System, cfg Config) (*Simulation, error) {
 	if cfg.Engine == EnginePM {
 		forceFn = sim.forcePM
 	}
-	lf, err := integrate.NewLeapfrog(cfg.DT, forceFn)
-	if err != nil {
-		return nil, err
+	switch {
+	case cfg.Blocks > 0:
+		bl, err := integrate.NewBlockLeapfrog(integrate.RungCriterion{
+			Eta: cfg.Eta, Eps: cfg.Eps, DTMin: cfg.DTMin, MaxRung: cfg.Blocks - 1,
+		}, forceFn, sim.forceActive)
+		if err != nil {
+			return nil, err
+		}
+		bl.Workers = cfg.Workers
+		sim.bl = bl
+	case cfg.Adaptive:
+		sim.al = &integrate.AdaptiveLeapfrog{
+			Criterion: integrate.TimestepCriterion{
+				Eta: cfg.Eta, Eps: cfg.Eps, MaxDT: cfg.DT, MinDT: cfg.DTMin,
+			},
+			Force: forceFn,
+		}
+	default:
+		lf, err := integrate.NewLeapfrog(cfg.DT, forceFn)
+		if err != nil {
+			return nil, err
+		}
+		sim.lf = lf
 	}
-	sim.lf = lf
 	return sim, nil
 }
 
@@ -245,32 +310,49 @@ func (sim *Simulation) forcePM(s *System) error {
 	return nil
 }
 
+// setScaleWindow re-ranges the hardware fixed-point window to the
+// current particle bounds, exactly like the real GRAPE library: the
+// sphere expands by ~25x over the headline run. No-op for host engines.
+func (sim *Simulation) setScaleWindow(s *System) error {
+	if sim.hw == nil && sim.cluster == nil {
+		return nil
+	}
+	cube := s.Bounds().Cube()
+	ext := cube.MaxEdge()
+	if ext == 0 {
+		ext = 1
+	}
+	// Margin for the drift within the step.
+	lo := min3(cube.Min.X-0.05*ext, cube.Min.Y-0.05*ext, cube.Min.Z-0.05*ext)
+	hi := max3(cube.Max.X+0.05*ext, cube.Max.Y+0.05*ext, cube.Max.Z+0.05*ext)
+	if sim.cluster != nil {
+		return sim.cluster.SetScale(lo, hi)
+	}
+	return sim.hw.SetScale(lo, hi)
+}
+
 // force is the integrator's ForceFunc: rescale the hardware if present,
 // run the grouped treecode, record statistics.
 func (sim *Simulation) force(s *System) error {
-	if sim.hw != nil || sim.cluster != nil {
-		// The host re-ranges the fixed-point window every step, exactly
-		// like the real GRAPE library: the sphere expands by ~25x over
-		// the headline run.
-		cube := s.Bounds().Cube()
-		ext := cube.MaxEdge()
-		if ext == 0 {
-			ext = 1
-		}
-		// Margin for the drift within the step.
-		lo := min3(cube.Min.X-0.05*ext, cube.Min.Y-0.05*ext, cube.Min.Z-0.05*ext)
-		hi := max3(cube.Max.X+0.05*ext, cube.Max.Y+0.05*ext, cube.Max.Z+0.05*ext)
-		var err error
-		if sim.cluster != nil {
-			err = sim.cluster.SetScale(lo, hi)
-		} else {
-			err = sim.hw.SetScale(lo, hi)
-		}
-		if err != nil {
-			return err
-		}
+	if err := sim.setScaleWindow(s); err != nil {
+		return err
 	}
 	st, err := sim.tc.ComputeForces(s)
+	if err != nil {
+		return err
+	}
+	sim.LastStats = *st
+	sim.TotalInteractions += st.Interactions
+	return nil
+}
+
+// forceActive is the block integrator's substep ForceFunc: identical
+// hardware windowing, but only the masked closing set is dispatched.
+func (sim *Simulation) forceActive(s *System, activeByID []bool, nActive int) error {
+	if err := sim.setScaleWindow(s); err != nil {
+		return err
+	}
+	st, err := sim.tc.ComputeForcesActive(s, activeByID, nActive)
 	if err != nil {
 		return err
 	}
@@ -307,33 +389,69 @@ func (sim *Simulation) Prime() error {
 	sim.ob.Reset()
 	a0 := obs.HeapAllocBytes()
 	t0 := time.Now()
-	if err := sim.lf.Prime(sim.Sys); err != nil {
+	var err error
+	switch {
+	case sim.bl != nil:
+		err = sim.bl.Prime(sim.Sys)
+	case sim.al != nil:
+		err = sim.al.Prime(sim.Sys)
+	default:
+		err = sim.lf.Prime(sim.Sys)
+	}
+	if err != nil {
 		return err
 	}
 	wall := time.Since(t0)
 	alloc := int64(obs.HeapAllocBytes() - a0)
-	sim.LastReport = sim.ob.Snapshot(0, wall)
+	sim.LastReport = sim.finishReport(0, wall)
 	sim.LastReport.BytesAlloc = alloc
 	return nil
 }
 
-// Step advances one leapfrog step and snapshots the step's telemetry
-// into LastReport, including the bytes of heap allocated during the
-// step (near zero in steady state: the tree builder, walk workers and
-// engines all run on reused arenas). A first Step without a prior Prime
-// folds the priming force call into its report.
+// finishReport snapshots the observer and fills the derived block
+// activity fraction (the observer itself does not know N).
+func (sim *Simulation) finishReport(step int, wall time.Duration) StepReport {
+	r := sim.ob.Snapshot(step, wall)
+	if r.Substeps > 0 && sim.Sys.N() > 0 {
+		r.ActiveFrac = float64(r.ActiveI) / (float64(sim.Sys.N()) * float64(r.Substeps))
+	}
+	return r
+}
+
+// Step advances one step — a single leapfrog kick-drift-kick for the
+// fixed and adaptive integrators, or one full block of substeps
+// (simulation time += DTMin·2^(Blocks-1)) for block timesteps — and
+// snapshots the step's telemetry into LastReport, including the bytes
+// of heap allocated during the step (near zero in steady state: the
+// tree builder, walk workers and engines all run on reused arenas). A
+// first Step without a prior Prime folds the priming force call into
+// its report.
 func (sim *Simulation) Step() error {
 	sim.ob.Reset()
 	a0 := obs.HeapAllocBytes()
 	t0 := time.Now()
-	if err := sim.lf.Step(sim.Sys); err != nil {
-		return err
+	advance := sim.cfg.DT
+	switch {
+	case sim.bl != nil:
+		if err := sim.bl.Step(sim.Sys); err != nil {
+			return err
+		}
+	case sim.al != nil:
+		dt, err := sim.al.Step(sim.Sys)
+		if err != nil {
+			return err
+		}
+		advance = dt
+	default:
+		if err := sim.lf.Step(sim.Sys); err != nil {
+			return err
+		}
 	}
 	wall := time.Since(t0)
 	alloc := int64(obs.HeapAllocBytes() - a0)
-	sim.time += sim.cfg.DT
+	sim.time += advance
 	sim.nsteps++
-	sim.LastReport = sim.ob.Snapshot(sim.nsteps, wall)
+	sim.LastReport = sim.finishReport(sim.nsteps, wall)
 	sim.LastReport.BytesAlloc = alloc
 	return nil
 }
@@ -357,6 +475,26 @@ func (sim *Simulation) Config() Config { return sim.cfg }
 
 // Steps returns the number of completed steps.
 func (sim *Simulation) Steps() int { return sim.nsteps }
+
+// RungOccupancy returns the per-rung particle counts of the block
+// scheduler (index k = rung k, dt = DTMin·2^k), or nil for fixed- and
+// adaptive-dt simulations. Valid after priming.
+func (sim *Simulation) RungOccupancy() []int64 {
+	if sim.bl == nil {
+		return nil
+	}
+	return sim.bl.Occupancy()
+}
+
+// LastDT returns the timestep most recently applied: DT for the fixed
+// integrator, the block span for block runs, the adaptive criterion's
+// last pick otherwise.
+func (sim *Simulation) LastDT() float64 {
+	if sim.al != nil {
+		return sim.al.LastDT()
+	}
+	return sim.cfg.DT
+}
 
 // Energy returns the current energy using the engine-filled potentials
 // (valid after at least one force evaluation).

@@ -123,6 +123,56 @@ func TestStepAllocsGuarded(t *testing.T) {
 		allocs, bytesPerStep, budget, byteBudget)
 }
 
+// TestStepAllocsBlocks extends the allocation gate to block timesteps:
+// a steady-state block Step runs many substeps, each with an active-set
+// walk whose gather segments, rung partials and active masks must all
+// live in reused scratch. The budgets are per-Step (i.e. per block of
+// substeps), so a per-substep leak shows up multiplied.
+func TestStepAllocsBlocks(t *testing.T) {
+	const n = 8192
+	sys := allocTestSystem(n)
+	sim, err := NewSimulation(sys, Config{
+		G: 1, Eps: 0.01, Ncrit: 500, Workers: 4,
+		Blocks: 4, DTMin: 5e-4, Eta: 0.02,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Prime(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := sim.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sim.LastReport.Substeps < 2 {
+		t.Fatalf("only %d substeps per block: active-set path not exercised", sim.LastReport.Substeps)
+	}
+
+	var bytes int64
+	allocs := testing.AllocsPerRun(5, func() {
+		if err := sim.Step(); err != nil {
+			t.Fatal(err)
+		}
+		bytes += sim.LastReport.BytesAlloc
+	})
+	bytesPerStep := bytes / 6
+	// Same order as the fixed-dt host budget: the block machinery may
+	// rebuild the tree on some substeps but must not allocate per
+	// particle or per gather segment in steady state.
+	const byteBudget = 400_000
+	if bytesPerStep > byteBudget {
+		t.Fatalf("steady-state block Step allocates %d bytes, budget %d", bytesPerStep, byteBudget)
+	}
+	const budget = 600
+	if allocs > budget {
+		t.Fatalf("steady-state block Step allocates %.0f objects/run, budget %d", allocs, budget)
+	}
+	t.Logf("steady-state block Step: %.1f allocs/run, %d bytes/step over %d substeps (budgets %d, %d)",
+		allocs, bytesPerStep, sim.LastReport.Substeps, budget, byteBudget)
+}
+
 // TestStepReportBytesAlloc checks that the telemetry layer reports the
 // per-step allocation counter and that it is sane in steady state.
 func TestStepReportBytesAlloc(t *testing.T) {

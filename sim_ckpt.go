@@ -48,7 +48,39 @@ func (sim *Simulation) Aux() RunAux { return sim.aux }
 
 // Primed reports whether the integrator holds valid post-force
 // accelerations (after Prime, a Step, or a primed resume).
-func (sim *Simulation) Primed() bool { return sim.lf.Primed() }
+func (sim *Simulation) Primed() bool {
+	switch {
+	case sim.bl != nil:
+		return sim.bl.Primed()
+	case sim.al != nil:
+		return sim.al.Primed()
+	}
+	return sim.lf.Primed()
+}
+
+// blockState assembles the version-2 RUNG scheduling state, or nil for
+// fixed-dt runs (whose checkpoints stay version 1, byte-identical to
+// the pre-block format).
+func (sim *Simulation) blockState() *ckpt.BlockState {
+	switch {
+	case sim.bl != nil:
+		return &ckpt.BlockState{
+			Mode:    ckpt.ModeBlock,
+			Tick:    sim.bl.Tick(),
+			DTMin:   sim.cfg.DTMin,
+			Eta:     sim.cfg.Eta,
+			MaxRung: int64(sim.cfg.Blocks - 1),
+			Rungs:   sim.bl.Rungs(),
+		}
+	case sim.al != nil:
+		return &ckpt.BlockState{
+			Mode:  ckpt.ModeAdaptive,
+			DTMin: sim.cfg.DTMin,
+			Eta:   sim.cfg.Eta,
+		}
+	}
+	return nil
+}
 
 // CheckpointState assembles the scalar checkpoint state: step and time,
 // the config fingerprint, the aux anchors and the whole-run cumulative
@@ -98,7 +130,7 @@ func (sim *Simulation) CheckpointState() ckpt.State {
 		FaultBusErrors:  fs.BusErrors,
 		FaultTransients: fs.Transients,
 
-		Primed: sim.lf.Primed(),
+		Primed: sim.Primed(),
 	}
 }
 
@@ -111,7 +143,7 @@ func (sim *Simulation) Checkpoint(store *ckpt.Store) (ckpt.SaveInfo, error) {
 		return ckpt.SaveInfo{}, fmt.Errorf("grape5: nil checkpoint store")
 	}
 	t := sim.ob.Start(obs.PhaseCheckpoint)
-	info, err := store.Save(&ckpt.Checkpoint{State: sim.CheckpointState(), Sys: sim.Sys})
+	info, err := store.Save(&ckpt.Checkpoint{State: sim.CheckpointState(), Sys: sim.Sys, Block: sim.blockState()})
 	t.Stop()
 	if err != nil {
 		return ckpt.SaveInfo{}, fmt.Errorf("grape5: checkpoint at step %d: %w", sim.nsteps, err)
@@ -210,6 +242,52 @@ func ResumeConfig(st ckpt.State, cfg Config) (Config, error) {
 	return out, nil
 }
 
+// mergeBlockConfig folds a checkpoint's RUNG scheduling state into the
+// caller's config under the same inherit-or-conflict rules as the
+// scalar fingerprint. Scheduling mode cannot change mid-run: a block or
+// adaptive checkpoint rejects a caller demanding the other mode, and a
+// version-1 checkpoint (no Block) rejects any caller demanding either —
+// the trajectory past the checkpoint would not be the checkpointed
+// run's.
+func mergeBlockConfig(b *ckpt.BlockState, cfg Config) (Config, error) {
+	out := cfg
+	if b == nil {
+		if cfg.Blocks > 0 || cfg.Adaptive {
+			return Config{}, fmt.Errorf("grape5: cannot switch to block/adaptive timesteps mid-run: checkpoint was taken with a fixed shared dt")
+		}
+		return out, nil
+	}
+	var err error
+	switch b.Mode {
+	case ckpt.ModeBlock:
+		if cfg.Adaptive {
+			return Config{}, fmt.Errorf("grape5: cannot switch to adaptive dt mid-run: checkpoint uses block timesteps")
+		}
+		var v int64
+		if v, err = mergeInt("blocks", b.MaxRung+1, int64(cfg.Blocks)); err != nil {
+			return Config{}, err
+		}
+		out.Blocks = int(v)
+		if out.DTMin, err = mergeFloat("dtmin", b.DTMin, cfg.DTMin); err != nil {
+			return Config{}, err
+		}
+	case ckpt.ModeAdaptive:
+		if cfg.Blocks > 0 {
+			return Config{}, fmt.Errorf("grape5: cannot switch to block timesteps mid-run: checkpoint uses adaptive dt")
+		}
+		out.Adaptive = true
+		if out.DTMin, err = mergeFloat("dtmin", b.DTMin, cfg.DTMin); err != nil {
+			return Config{}, err
+		}
+	default:
+		return Config{}, fmt.Errorf("grape5: checkpoint has unknown scheduling mode %d", b.Mode)
+	}
+	if out.Eta, err = mergeFloat("eta", b.Eta, cfg.Eta); err != nil {
+		return Config{}, err
+	}
+	return out, nil
+}
+
 // ResumeSimulation reconstructs a Simulation from a loaded checkpoint.
 // The checkpoint's system is adopted in place (exact tree order, exact
 // accelerations); cfg supplies overrides under the ResumeConfig merge
@@ -224,6 +302,9 @@ func ResumeSimulation(c *ckpt.Checkpoint, cfg Config) (*Simulation, error) {
 	st := c.State
 	merged, err := ResumeConfig(st, cfg)
 	if err != nil {
+		return nil, err
+	}
+	if merged, err = mergeBlockConfig(c.Block, merged); err != nil {
 		return nil, err
 	}
 	sim, err := NewSimulation(c.Sys, merged)
@@ -257,6 +338,29 @@ func ResumeSimulation(c *ckpt.Checkpoint, cfg Config) (*Simulation, error) {
 		BusErrors:      st.FaultBusErrors,
 		Transients:     st.FaultTransients,
 	}
-	sim.lf.SetPrimed(st.Primed)
+	switch {
+	case sim.bl != nil:
+		if err := sim.bl.SetState(c.Block.Rungs, c.Block.Tick); err != nil {
+			return nil, fmt.Errorf("grape5: resuming block scheduler: %w", err)
+		}
+		sim.bl.SetPrimed(st.Primed)
+		if st.Primed {
+			// The uninterrupted run's next substep starts from a cached
+			// tree (built at the last full-set rebuild and refreshed
+			// since). The checkpointed system is already Morton-sorted, so
+			// one deterministic rebuild reproduces exactly that tree and
+			// the resumed run stays on the same refresh-vs-rebuild
+			// schedule, keeping the trajectory bitwise.
+			if err := sim.tc.PrimeTree(sim.Sys); err != nil {
+				return nil, fmt.Errorf("grape5: priming tree for block resume: %w", err)
+			}
+		}
+	case sim.al != nil:
+		// Adaptive resume is bitwise for free: the next dt is a pure
+		// function of the restored accelerations.
+		sim.al.SetPrimed(st.Primed)
+	default:
+		sim.lf.SetPrimed(st.Primed)
+	}
 	return sim, nil
 }
